@@ -1,0 +1,86 @@
+//! Host-side microbenchmarks of the simulated HTM primitives: how many
+//! nanoseconds of host time one simulated access costs. These bound the
+//! wall-clock cost of every figure run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elision_htm::{HtmConfig, MemoryBuilder, Strand};
+use elision_sim::{Scheduler, SimHandle};
+use std::sync::Arc;
+
+fn solo_strand(words: usize) -> Strand {
+    let mut b = MemoryBuilder::new();
+    b.alloc_array(words, 0);
+    let mem = Arc::new(b.freeze(1));
+    let sched = Arc::new(Scheduler::new(1, 0));
+    sched.release_start();
+    Strand::new(mem, SimHandle::new(sched, 0), HtmConfig::deterministic(), 1)
+}
+
+fn bench_htm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("htm_ops");
+
+    g.bench_function("nontxn_load", |b| {
+        let mut s = solo_strand(64);
+        let v = elision_htm::VarId::from_index(0);
+        b.iter(|| s.load(v).unwrap());
+    });
+
+    g.bench_function("nontxn_store", |b| {
+        let mut s = solo_strand(64);
+        let v = elision_htm::VarId::from_index(0);
+        b.iter(|| s.store(v, 1).unwrap());
+    });
+
+    g.bench_function("nontxn_cas", |b| {
+        let mut s = solo_strand(64);
+        let v = elision_htm::VarId::from_index(0);
+        b.iter(|| s.cas(v, 0, 0).unwrap());
+    });
+
+    g.bench_function("txn_begin_commit_empty", |b| {
+        let mut s = solo_strand(64);
+        b.iter(|| {
+            s.begin();
+            s.commit().unwrap();
+        });
+    });
+
+    g.bench_function("txn_rw_8_lines", |b| {
+        let mut s = solo_strand(64);
+        b.iter(|| {
+            s.begin();
+            for k in 0..8u32 {
+                let v = elision_htm::VarId::from_index(k * 8);
+                let x = s.load(v).unwrap();
+                s.store(v, x + 1).unwrap();
+            }
+            s.commit().unwrap();
+        });
+    });
+
+    g.bench_function("txn_abort_unwind", |b| {
+        let mut s = solo_strand(64);
+        let v = elision_htm::VarId::from_index(0);
+        b.iter(|| {
+            s.begin();
+            s.store(v, 1).unwrap();
+            let _ = s.xabort(1, true);
+        });
+    });
+
+    g.bench_function("hle_elide_roundtrip", |b| {
+        let mut s = solo_strand(64);
+        let lock = elision_htm::VarId::from_index(0);
+        b.iter(|| {
+            s.begin();
+            s.elide_rmw(lock, |_| 1).unwrap();
+            s.store(lock, 0).unwrap();
+            s.commit().unwrap();
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_htm);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Host-side cost of an uncontended acquire/release pair for each lock,
+//! plus a solo elided round-trip — the simulator's lock-path overheads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elision_core::{make_lock, LockKind};
+use elision_htm::{HtmConfig, MemoryBuilder, Strand};
+use elision_locks::RawLock;
+use elision_sim::{Scheduler, SimHandle};
+use std::sync::Arc;
+
+fn setup(kind: LockKind) -> (Strand, Arc<dyn RawLock>) {
+    let mut b = MemoryBuilder::new();
+    let lock = make_lock(kind, &mut b, 1);
+    let mem = Arc::new(b.freeze(1));
+    let sched = Arc::new(Scheduler::new(1, 0));
+    sched.release_start();
+    let strand = Strand::new(mem, SimHandle::new(sched, 0), HtmConfig::deterministic(), 1);
+    (strand, lock)
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_handoff");
+    for kind in [LockKind::Ttas, LockKind::Mcs, LockKind::Ticket, LockKind::Clh] {
+        let (mut s, lock) = setup(kind);
+        g.bench_function(format!("acquire_release/{}", kind.label()), |b| {
+            b.iter(|| {
+                lock.acquire(&mut s).unwrap();
+                lock.release(&mut s).unwrap();
+            });
+        });
+        let (mut s, lock) = setup(kind);
+        g.bench_function(format!("elided_roundtrip/{}", kind.label()), |b| {
+            b.iter(|| {
+                s.begin();
+                lock.elided_acquire(&mut s).unwrap();
+                lock.elided_release(&mut s).unwrap();
+                s.commit().unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_locks);
+criterion_main!(benches);

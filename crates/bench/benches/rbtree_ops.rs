@@ -1,0 +1,53 @@
+//! Host-side cost of red-black-tree operations at several sizes: the
+//! per-node-visit cost of simulated traversal, which dominates the figure
+//! runs' wall-clock time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elision_htm::{HtmConfig, MemoryBuilder, Strand};
+use elision_sim::{DetRng, Scheduler, SimHandle};
+use elision_structures::RbTree;
+use std::sync::Arc;
+
+fn setup(size: usize) -> (Strand, RbTree, u64) {
+    let domain = size as u64 * 2;
+    let mut b = MemoryBuilder::new();
+    let tree = RbTree::new(&mut b, domain as usize + 16, 1);
+    let mem = Arc::new(b.freeze(1));
+    tree.init(&mem);
+    let sched = Arc::new(Scheduler::new(1, 0));
+    sched.release_start();
+    let mut strand = Strand::new(mem, SimHandle::new(sched, 0), HtmConfig::deterministic(), 1);
+    let mut rng = DetRng::new(9, 9);
+    let mut filled = 0;
+    while filled < size {
+        if tree.insert(&mut strand, rng.below(domain)).unwrap() {
+            filled += 1;
+        }
+    }
+    (strand, tree, domain)
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rbtree_ops");
+    for size in [64usize, 1024, 16384] {
+        let (mut s, tree, domain) = setup(size);
+        let mut rng = DetRng::new(4, 2);
+        g.bench_function(format!("lookup/{size}"), |b| {
+            b.iter(|| tree.contains(&mut s, rng.below(domain)).unwrap());
+        });
+        let (mut s, tree, domain) = setup(size);
+        let mut rng = DetRng::new(4, 3);
+        g.bench_function(format!("insert_delete/{size}"), |b| {
+            b.iter(|| {
+                let k = rng.below(domain);
+                if tree.insert(&mut s, k).unwrap() {
+                    tree.remove(&mut s, k).unwrap();
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Host-side cost of one uncontended critical section under each elision
+//! scheme — the per-operation overhead a scheme adds on its fast path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elision_core::{make_scheme, LockKind, Scheme, SchemeConfig, SchemeKind};
+use elision_htm::{HtmConfig, MemoryBuilder, Strand, VarId};
+use elision_sim::{Scheduler, SimHandle};
+use std::sync::Arc;
+
+fn setup(scheme: SchemeKind, lock: LockKind) -> (Strand, Arc<Scheme>, VarId) {
+    let mut b = MemoryBuilder::new();
+    let data = b.alloc_isolated(0);
+    let scheme = make_scheme(scheme, lock, SchemeConfig::paper(), &mut b, 1);
+    let mem = Arc::new(b.freeze(1));
+    let sched = Arc::new(Scheduler::new(1, 0));
+    sched.release_start();
+    let strand = Strand::new(mem, SimHandle::new(sched, 0), HtmConfig::deterministic(), 1);
+    (strand, scheme, data)
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheme_overhead");
+    for lock in [LockKind::Ttas, LockKind::Mcs] {
+        for kind in SchemeKind::ALL {
+            let (mut s, scheme, data) = setup(kind, lock);
+            g.bench_function(format!("{}/{}", lock.label(), kind.label()), |b| {
+                b.iter(|| {
+                    scheme.execute(&mut s, |s| {
+                        let v = s.load(data)?;
+                        s.store(data, v + 1)
+                    })
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

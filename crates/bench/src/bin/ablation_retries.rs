@@ -1,0 +1,90 @@
+//! Ablation — the `MAX_RETRIES` budget (paper §7 "Conflict management
+//! tuning": the paper fixes 10 and reports other tunings only degrade
+//! performance).
+//!
+//! Sweeps the retry budget for HLE-retries, opt SLR and HLE-SCM on the
+//! 128-node moderate-contention tree and reports throughput normalized to
+//! the paper's budget of 10.
+
+use elision_bench::report::{f2, Table};
+use elision_bench::{CliArgs, BENCH_WINDOW};
+use elision_core::{make_scheme_with_aux, LockKind, SchemeConfig, SchemeKind};
+use elision_htm::{harness, HtmConfig, MemoryBuilder};
+use elision_structures::{key_domain, OpMix, RbTree, TreeOp};
+use std::sync::Arc;
+
+fn run_with_budget(args: &CliArgs, scheme: SchemeKind, lock: LockKind, budget: u32, ops: u64) -> f64 {
+    let size = 128;
+    let domain = key_domain(size);
+    let threads = args.threads;
+    let mut b = MemoryBuilder::new();
+    let tree = RbTree::new(&mut b, domain as usize + threads * 4 + 16, threads);
+    let cfg = SchemeConfig { max_retries: budget, ..SchemeConfig::paper() };
+    let sch = make_scheme_with_aux(scheme, lock, LockKind::Mcs, cfg, &mut b, threads);
+    let mem = Arc::new(b.freeze(threads));
+    tree.init(&mem);
+    {
+        let tree = tree.clone();
+        harness::run_arc(1, 0, HtmConfig::deterministic(), 0xF111, Arc::clone(&mem), move |s| {
+            let mut filled = 0;
+            while filled < size {
+                let key = s.rng.below(domain);
+                if tree.insert(s, key).expect("fill") {
+                    filled += 1;
+                }
+            }
+        });
+    }
+    tree.rebalance_freelists(&mem);
+    let tree2 = tree.clone();
+    let (_, makespan) = harness::run_arc(
+        threads,
+        BENCH_WINDOW,
+        HtmConfig::haswell(),
+        42,
+        Arc::clone(&mem),
+        move |s| {
+            for _ in 0..ops {
+                let op = OpMix::MODERATE.draw(&mut s.rng);
+                let key = s.rng.below(domain);
+                sch.execute(s, |s| match op {
+                    TreeOp::Insert => tree2.insert(s, key).map(|_| ()),
+                    TreeOp::Delete => tree2.remove(s, key).map(|_| ()),
+                    TreeOp::Lookup => tree2.contains(s, key).map(|_| ()),
+                });
+            }
+        },
+    );
+    ops as f64 * threads as f64 * 1000.0 / makespan.max(1) as f64
+}
+
+fn main() {
+    let args = CliArgs::parse();
+    let ops = if args.quick { 300 } else { 1000 };
+    let budgets = [1u32, 2, 5, 10, 20, 50];
+
+    println!("== Ablation: MAX_RETRIES budget (128-node tree, moderate contention) ==");
+    println!("values normalized to the paper's budget of 10\n");
+
+    for lock in [LockKind::Ttas, LockKind::Mcs] {
+        println!("--- {} main lock ---", lock.label());
+        let mut table = Table::new(&["budget", "HLE-retries", "opt SLR", "HLE-SCM"]);
+        let schemes = [SchemeKind::HleRetries, SchemeKind::OptSlr, SchemeKind::HleScm];
+        let baseline: Vec<f64> =
+            schemes.iter().map(|&s| run_with_budget(&args, s, lock, 10, ops)).collect();
+        for &budget in &budgets {
+            let mut cells = vec![budget.to_string()];
+            for (i, &scheme) in schemes.iter().enumerate() {
+                let thr = run_with_budget(&args, scheme, lock, budget, ops);
+                cells.push(f2(thr / baseline[i]));
+            }
+            table.row(cells);
+        }
+        table.print();
+        if let Some(dir) = &args.csv {
+            table.write_csv(dir, &format!("ablation_retries_{}", lock.label().to_lowercase()));
+        }
+        println!();
+    }
+    println!("Shape check: performance is flat-ish around 10 and degrades at budget 1.");
+}

@@ -1,0 +1,125 @@
+//! Ablation — SCM design choices.
+//!
+//! Two knobs the paper discusses:
+//!
+//! * **Auxiliary-lock fairness** (§6 "Preventing starvation"): the scheme
+//!   inherits the aux lock's fairness; a TTAS aux lock can starve
+//!   conflicting threads, a fair MCS aux lock cannot. We compare
+//!   throughput and the spread of per-thread completion times.
+//! * **Eager vs lazy subscription and true HLE-in-RTM nesting** (§6
+//!   "Implementation and HLE compatibility"): Haswell could not nest HLE
+//!   inside RTM, forcing the read-and-check workaround. The simulator can
+//!   do both, quantifying what the workaround costs.
+
+use elision_bench::report::{f2, Table};
+use elision_bench::{CliArgs, BENCH_WINDOW};
+use elision_core::{make_scheme_with_aux, LockKind, Scheme, SchemeConfig, SchemeKind};
+use elision_htm::{harness, HtmConfig, MemoryBuilder};
+use elision_structures::{key_domain, OpMix, RbTree, TreeOp};
+use std::sync::Arc;
+
+/// Run a moderate-contention tree workload under an explicitly built
+/// scheme; returns (throughput, per-thread end-time spread ratio).
+fn run_custom(
+    args: &CliArgs,
+    build: impl Fn(&mut MemoryBuilder, usize) -> Arc<Scheme>,
+    ops: u64,
+) -> (f64, f64) {
+    let size = 128;
+    let domain = key_domain(size);
+    let threads = args.threads;
+    let mut b = MemoryBuilder::new();
+    let tree = RbTree::new(&mut b, domain as usize + threads * 4 + 16, threads);
+    let scheme = build(&mut b, threads);
+    let mem = Arc::new(b.freeze(threads));
+    tree.init(&mem);
+    {
+        let tree = tree.clone();
+        harness::run_arc(1, 0, HtmConfig::deterministic(), 0xF111, Arc::clone(&mem), move |s| {
+            let mut filled = 0;
+            while filled < size {
+                let key = s.rng.below(domain);
+                if tree.insert(s, key).expect("fill") {
+                    filled += 1;
+                }
+            }
+        });
+    }
+    tree.rebalance_freelists(&mem);
+    let tree2 = tree.clone();
+    let (ends, makespan) = harness::run_arc(
+        threads,
+        BENCH_WINDOW,
+        HtmConfig::haswell(),
+        42,
+        Arc::clone(&mem),
+        move |s| {
+            for _ in 0..ops {
+                let op = OpMix::MODERATE.draw(&mut s.rng);
+                let key = s.rng.below(domain);
+                scheme.execute(s, |s| match op {
+                    TreeOp::Insert => tree2.insert(s, key).map(|_| ()),
+                    TreeOp::Delete => tree2.remove(s, key).map(|_| ()),
+                    TreeOp::Lookup => tree2.contains(s, key).map(|_| ()),
+                });
+            }
+            s.now()
+        },
+    );
+    let throughput = ops as f64 * threads as f64 * 1000.0 / makespan.max(1) as f64;
+    let min = *ends.iter().min().expect("nonempty") as f64;
+    let max = *ends.iter().max().expect("nonempty") as f64;
+    (throughput, max / min.max(1.0))
+}
+
+fn main() {
+    let args = CliArgs::parse();
+    let ops = if args.quick { 300 } else { 1000 };
+
+    println!("== Ablation: SCM design choices (128-node tree, moderate contention) ==\n");
+
+    println!("--- auxiliary-lock fairness (HLE-SCM over MCS main lock) ---");
+    let mut table = Table::new(&["aux lock", "throughput (ops/kcycle)", "finish-time spread"]);
+    for aux in [LockKind::Mcs, LockKind::Ticket, LockKind::Clh, LockKind::Ttas] {
+        let (thr, spread) = run_custom(
+            &args,
+            |b, t| {
+                make_scheme_with_aux(SchemeKind::HleScm, LockKind::Mcs, aux, SchemeConfig::paper(), b, t)
+            },
+            ops,
+        );
+        table.row(vec![aux.label().to_string(), f2(thr), f2(spread)]);
+    }
+    table.print();
+    if let Some(dir) = &args.csv {
+        table.write_csv(dir, "ablation_scm_aux");
+    }
+
+    println!("\n--- subscription policy (SCM over MCS main lock) ---");
+    let mut table = Table::new(&["variant", "throughput (ops/kcycle)"]);
+    let variants: [(&str, SchemeKind, bool); 3] = [
+        ("eager check (paper's Haswell workaround)", SchemeKind::HleScm, false),
+        ("true HLE-in-RTM nesting (paper's intended design)", SchemeKind::HleScm, true),
+        ("lazy commit-time check (SLR-SCM)", SchemeKind::SlrScm, false),
+    ];
+    for (label, kind, nesting) in variants {
+        let (thr, _) = run_custom(
+            &args,
+            |b, t| {
+                let cfg = SchemeConfig { scm_true_nesting: nesting, ..SchemeConfig::paper() };
+                make_scheme_with_aux(kind, LockKind::Mcs, LockKind::Mcs, cfg, b, t)
+            },
+            ops,
+        );
+        table.row(vec![label.to_string(), f2(thr)]);
+    }
+    table.print();
+    if let Some(dir) = &args.csv {
+        table.write_csv(dir, "ablation_scm_subscription");
+    }
+    println!(
+        "\nShape check: fair aux locks keep the finish-time spread tight; the \
+         workaround and true nesting should perform comparably (the paper argues \
+         the workaround only loses the self-illusion of holding the lock)."
+    );
+}

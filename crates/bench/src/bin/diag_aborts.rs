@@ -1,0 +1,50 @@
+//! Diagnostic — abort breakdown by cause for every scheme/lock cell on
+//! one tree configuration. Not a paper figure; used when analysing why a
+//! scheme serializes (conflict vs capacity vs spurious vs lock-busy).
+
+use elision_bench::report::{f2, f3, Table};
+use elision_bench::{run_tree_bench, CliArgs, TreeBenchSpec};
+use elision_core::{LockKind, SchemeKind};
+use elision_structures::OpMix;
+
+fn main() {
+    let args = CliArgs::parse();
+    let size = if args.quick { 128 } else { 2048 };
+    let ops = if args.quick { 300 } else { 1000 };
+
+    println!("== Diagnostic: abort breakdown ({size}-node tree, moderate contention) ==\n");
+    let mut table = Table::new(&[
+        "lock",
+        "scheme",
+        "frac-nonspec",
+        "attempts/op",
+        "conflict",
+        "capacity",
+        "explicit",
+        "spurious",
+        "restore",
+    ]);
+    for lock in [LockKind::Ttas, LockKind::Mcs] {
+        for scheme in SchemeKind::ALL {
+            let mut spec = TreeBenchSpec::new(scheme, lock, args.threads, size, OpMix::MODERATE);
+            spec.ops_per_thread = ops;
+            let r = run_tree_bench(&spec);
+            let t = &r.txn_stats;
+            table.row(vec![
+                lock.label().to_string(),
+                scheme.label().to_string(),
+                f3(r.counters.frac_nonspeculative()),
+                f2(r.counters.attempts_per_op()),
+                t.aborts_conflict.to_string(),
+                t.aborts_capacity.to_string(),
+                t.aborts_explicit.to_string(),
+                t.aborts_spurious.to_string(),
+                t.aborts_restore.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    if let Some(dir) = &args.csv {
+        table.write_csv(dir, "diag_aborts");
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 11 — STAMP applications under every scheme (lower is better).
+//!
+//! For each of the nine STAMP workloads (bayes excluded, as in the
+//! paper), runs the six schemes at 8 threads over the TTAS and MCS locks
+//! and reports simulated runtime normalized to the standard
+//! (non-speculative) version of the same lock.
+//!
+//! Paper expectation: plain HLE gains nothing on MCS but up to ~2x on
+//! TTAS (intruder); HLE-SCM rescues MCS (up to ~2.5x); opt SLR is the
+//! overall best on most tests (up to ~4x over standard); HLE-retries
+//! tracks SLR on TTAS but collapses to ~standard on MCS for genome, yada
+//! and vacation; SLR-SCM only helps vacation-low (~15%).
+
+use elision_bench::report::{f3, Table};
+use elision_bench::{CliArgs, BENCH_WINDOW};
+use elision_core::{LockKind, SchemeKind};
+use elision_htm::HtmConfig;
+use elision_stamp::{run_kernel, KernelKind, StampParams};
+
+fn main() {
+    let args = CliArgs::parse();
+    let params = if args.quick { StampParams::quick() } else { StampParams::full() };
+
+    println!("== Figure 11: STAMP normalized runtime (lower is better) ==");
+    println!("{} threads; y=1 is the standard version of the same lock\n", args.threads);
+
+    for lock in [LockKind::Ttas, LockKind::Mcs] {
+        println!("--- {} lock ---", lock.label());
+        let mut headers = vec!["test".to_string()];
+        headers.extend(SchemeKind::ALL.iter().map(|s| s.label().to_string()));
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(&header_refs);
+        for kernel in KernelKind::ALL {
+            // Average the standard baseline over the same seeds.
+            let mut baseline = 0.0;
+            let mut cells = vec![kernel.label().to_string()];
+            let mut times: Vec<f64> = Vec::new();
+            for scheme in SchemeKind::ALL {
+                let mut total = 0u64;
+                for k in 0..args.seeds {
+                    let mut p = params;
+                    p.seed = params.seed.wrapping_add(k * 7919);
+                    let run = run_kernel(
+                        kernel,
+                        scheme,
+                        lock,
+                        args.threads,
+                        &p,
+                        BENCH_WINDOW,
+                        HtmConfig::haswell(),
+                    );
+                    total += run.makespan;
+                }
+                let mean = total as f64 / args.seeds as f64;
+                if scheme == SchemeKind::Standard {
+                    baseline = mean;
+                }
+                times.push(mean);
+            }
+            for t in times {
+                cells.push(f3(t / baseline));
+            }
+            table.row(cells);
+        }
+        table.print();
+        if let Some(dir) = &args.csv {
+            table.write_csv(dir, &format!("fig11_stamp_{}", lock.label().to_lowercase()));
+        }
+        println!();
+    }
+    println!(
+        "Paper shape check: HLE column ~1 for MCS but <1 for TTAS on several tests; \
+         HLE-SCM well below 1 on MCS; opt SLR lowest on most rows for both locks."
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 4 — HLE speedup over standard locking, by contention level.
+//!
+//! For each of the paper's three contention levels (lookups-only,
+//! 10/10/80, 50/50) and each tree size, reports the throughput of the
+//! HLE version of each lock normalized to the standard (non-speculative)
+//! version of the same lock, at 8 threads.
+//!
+//! Paper expectation: HLE-MCS gains nothing (speedup ~1 or below) at all
+//! sizes; HLE-TTAS gains little on small trees but large speedups (up to
+//! ~14x in the paper's lookup-only workload) as the tree grows.
+
+use elision_bench::report::{f2, Table};
+use elision_bench::{run_tree_bench_avg, size_sweep, CliArgs, TreeBenchSpec};
+use elision_core::{LockKind, SchemeKind};
+use elision_structures::OpMix;
+
+fn main() {
+    let args = CliArgs::parse();
+    let sizes = size_sweep(args.quick, args.full);
+    let ops = if args.quick { 300 } else { 1000 };
+
+    println!("== Figure 4: HLE speedup over the standard version of each lock ==");
+    println!("{} threads; baseline y=1 is the standard lock\n", args.threads);
+
+    for (label, mix) in OpMix::LEVELS {
+        println!("--- {label} ---");
+        let mut table = Table::new(&["size", "TTAS", "MCS"]);
+        for &size in &sizes {
+            let mut cells = vec![size.to_string()];
+            for lock in [LockKind::Ttas, LockKind::Mcs] {
+                let mut spec = TreeBenchSpec::new(SchemeKind::Hle, lock, args.threads, size, mix);
+                spec.ops_per_thread = ops;
+                let hle = run_tree_bench_avg(&spec, args.seeds);
+                let mut std_spec = spec;
+                std_spec.scheme = SchemeKind::Standard;
+                let std = run_tree_bench_avg(&std_spec, args.seeds);
+                cells.push(f2(hle.throughput / std.throughput));
+            }
+            table.row(cells);
+        }
+        table.print();
+        if let Some(dir) = &args.csv {
+            let slug = label
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .collect::<String>();
+            table.write_csv(dir, &format!("fig4_hle_speedup_{slug}"));
+        }
+        println!();
+    }
+    println!(
+        "Paper shape check: MCS stays at ~1x everywhere; TTAS grows with tree size, \
+         highest in the lookups-only workload."
+    );
+}

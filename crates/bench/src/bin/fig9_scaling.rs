@@ -1,0 +1,62 @@
+//! Figure 9 — thread scaling of all six schemes on a 128-node tree.
+//!
+//! For 1, 2, 4 and 8 threads under moderate contention (10/10/80),
+//! reports each scheme's throughput normalized to a single thread running
+//! with no locking at all (the paper's y=1 baseline), for the TTAS and
+//! MCS locks.
+//!
+//! Paper expectation: plain HLE-MCS does not scale at all; plain
+//! HLE-TTAS stops scaling past 4 threads; HLE-retries rescues TTAS but
+//! not MCS at 8 threads; the software-assisted schemes (HLE-SCM, opt
+//! SLR, SLR-SCM) scale with the thread count for both locks, closing the
+//! gap between MCS and TTAS.
+
+use elision_bench::report::{f2, Table};
+use elision_bench::{run_tree_bench_avg, CliArgs, TreeBenchSpec};
+use elision_core::{LockKind, SchemeKind};
+use elision_structures::OpMix;
+
+const TREE_SIZE: usize = 128;
+
+fn main() {
+    let args = CliArgs::parse();
+    let ops = if args.quick { 300 } else { 1200 };
+    let thread_counts: Vec<usize> =
+        [1usize, 2, 4, 8].into_iter().filter(|&t| t <= args.threads.max(8)).collect();
+
+    println!("== Figure 9: scheme scaling on a 128-node tree ==");
+    println!("10% insert / 10% delete / 80% lookup; baseline y=1 is 1 thread, no locking\n");
+
+    // The common baseline: single-threaded, lock-free execution.
+    let mut base_spec =
+        TreeBenchSpec::new(SchemeKind::NoLock, LockKind::Ttas, 1, TREE_SIZE, OpMix::MODERATE);
+    base_spec.ops_per_thread = ops;
+    let base = run_tree_bench_avg(&base_spec, args.seeds).throughput;
+
+    for lock in [LockKind::Ttas, LockKind::Mcs] {
+        println!("--- {} lock ---", lock.label());
+        let mut headers = vec!["threads".to_string()];
+        headers.extend(SchemeKind::ALL.iter().map(|s| s.label().to_string()));
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(&header_refs);
+        for &t in &thread_counts {
+            let mut cells = vec![t.to_string()];
+            for scheme in SchemeKind::ALL {
+                let mut spec = TreeBenchSpec::new(scheme, lock, t, TREE_SIZE, OpMix::MODERATE);
+                spec.ops_per_thread = ops;
+                let r = run_tree_bench_avg(&spec, args.seeds);
+                cells.push(f2(r.throughput / base));
+            }
+            table.row(cells);
+        }
+        table.print();
+        if let Some(dir) = &args.csv {
+            table.write_csv(dir, &format!("fig9_scaling_{}", lock.label().to_lowercase()));
+        }
+        println!();
+    }
+    println!(
+        "Paper shape check: HLE-MCS flat at all thread counts; software-assisted \
+         schemes scale with threads on both locks and close the MCS/TTAS gap."
+    );
+}

@@ -1,0 +1,64 @@
+//! §7.1's second data-structure benchmark: the hash table.
+//!
+//! The paper reports that hash-table results are comparable to the
+//! red-black tree, "zooming in" on the short-transaction end of the
+//! spectrum. This binary reproduces that comparison: all schemes over
+//! both locks at the three contention levels, normalized to plain HLE of
+//! the same lock.
+
+use elision_bench::report::{f2, Table};
+use elision_bench::{run_hash_bench, CliArgs, HashBenchSpec, BENCH_WINDOW};
+use elision_core::{LockKind, SchemeKind};
+use elision_htm::HtmConfig;
+use elision_structures::OpMix;
+
+const SCHEMES: [SchemeKind; 4] =
+    [SchemeKind::HleRetries, SchemeKind::HleScm, SchemeKind::OptSlr, SchemeKind::SlrScm];
+
+fn main() {
+    let args = CliArgs::parse();
+    let size = if args.quick { 128 } else { 512 };
+    let ops = if args.quick { 300 } else { 1000 };
+
+    println!("== Hash-table benchmark (short transactions; §7.1) ==");
+    println!("{} threads, {size}-entry table; baseline y=1 is plain HLE of the same lock\n", args.threads);
+
+    for lock in [LockKind::Ttas, LockKind::Mcs] {
+        println!("--- {} lock ---", lock.label());
+        let mut headers = vec!["mix".to_string()];
+        headers.extend(SCHEMES.iter().map(|s| s.label().to_string()));
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(&header_refs);
+        for (label, mix) in OpMix::LEVELS {
+            let base_spec = HashBenchSpec {
+                scheme: SchemeKind::Hle,
+                lock,
+                threads: args.threads,
+                size,
+                mix,
+                ops_per_thread: ops,
+                window: BENCH_WINDOW,
+                htm: HtmConfig::haswell(),
+                seed: 42,
+            };
+            let hle = run_hash_bench(&base_spec);
+            let mut cells = vec![label.to_string()];
+            for scheme in SCHEMES {
+                let mut spec = base_spec;
+                spec.scheme = scheme;
+                let r = run_hash_bench(&spec);
+                cells.push(f2(r.throughput / hle.throughput));
+            }
+            table.row(cells);
+        }
+        table.print();
+        if let Some(dir) = &args.csv {
+            table.write_csv(dir, &format!("hashtable_{}", lock.label().to_lowercase()));
+        }
+        println!();
+    }
+    println!(
+        "Paper shape check: same ordering as the small-tree (short transaction) end \
+         of Figure 10 — HLE-SCM strongest among the schemes, especially on MCS."
+    );
+}

@@ -1,0 +1,103 @@
+//! A tiny flag parser shared by the figure binaries (no external
+//! dependency needed for four flags).
+
+use std::path::PathBuf;
+
+/// Common figure-binary options.
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    /// Shrink the sweep for CI / smoke runs.
+    pub quick: bool,
+    /// Extend the sweep to the largest sizes.
+    pub full: bool,
+    /// Number of seeds to average over.
+    pub seeds: u64,
+    /// Simulated thread count.
+    pub threads: usize,
+    /// Directory to drop CSV files into.
+    pub csv: Option<PathBuf>,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs { quick: false, full: false, seeds: 3, threads: crate::PAPER_THREADS, csv: None }
+    }
+}
+
+impl CliArgs {
+    /// Parse `std::env::args`, exiting with usage on unknown flags.
+    pub fn parse() -> CliArgs {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> CliArgs {
+        let mut out = CliArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--full" => out.full = true,
+                "--seeds" => {
+                    out.seeds = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seeds needs a number"));
+                }
+                "--threads" => {
+                    out.threads = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--threads needs a number"));
+                }
+                "--csv" => {
+                    out.csv = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| usage("--csv needs a directory")),
+                    ));
+                }
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        out.seeds = out.seeds.max(1);
+        out
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <bin> [--quick] [--full] [--seeds N] [--threads N] [--csv DIR]");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> CliArgs {
+        CliArgs::parse_from(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert!(!a.quick);
+        assert_eq!(a.seeds, 3);
+        assert_eq!(a.threads, 8);
+        assert!(a.csv.is_none());
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse(&["--quick", "--seeds", "5", "--threads", "4", "--csv", "/tmp/x"]);
+        assert!(a.quick);
+        assert_eq!(a.seeds, 5);
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.csv.unwrap(), PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn seeds_clamped_to_one() {
+        let a = parse(&["--seeds", "0"]);
+        assert_eq!(a.seeds, 1);
+    }
+}

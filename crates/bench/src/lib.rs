@@ -1,0 +1,42 @@
+//! Shared measurement pipeline for the figure-regeneration binaries.
+//!
+//! Each `fig*` binary in `src/bin/` regenerates one figure of the paper:
+//! it sweeps the figure's parameter grid, runs the simulated benchmark,
+//! and prints the same rows/series the paper plots (plus optional CSV).
+//! This library holds the common pieces: the red-black-tree and
+//! hash-table benchmark drivers (fill phase + measured phase), seed
+//! averaging, speedup computation, table printing and a tiny CLI parser.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod report;
+pub mod treebench;
+
+pub use cli::CliArgs;
+pub use treebench::{
+    run_hash_bench, run_tree_bench, run_tree_bench_avg, HashBenchSpec, TreeBenchResult,
+    TreeBenchSpec,
+};
+
+/// The paper's thread-count maximum (4 cores x 2 hyperthreads).
+pub const PAPER_THREADS: usize = 8;
+
+/// Default scheduler lag window for benchmark runs: small relative to
+/// transaction begin/commit costs so critical sections genuinely overlap
+/// in logical time.
+pub const BENCH_WINDOW: u64 = 16;
+
+/// Tree-size sweep used by the spectrum figures (the paper sweeps
+/// 2..512K; the simulator covers the same dynamic range with a cap chosen
+/// for host runtime — the curves' shape settles well before the cap).
+pub fn size_sweep(quick: bool, full: bool) -> Vec<usize> {
+    if quick {
+        vec![8, 128, 2048]
+    } else if full {
+        vec![2, 8, 32, 128, 512, 2048, 8192, 32768]
+    } else {
+        vec![2, 8, 32, 128, 512, 2048, 8192]
+    }
+}

@@ -1,0 +1,335 @@
+//! The red-black-tree and hash-table benchmark drivers (paper §4 / §7.1).
+//!
+//! A run builds a tree of the target size (filled with random keys from a
+//! domain of twice the size, as in the paper), then has every simulated
+//! thread perform a fixed number of operations drawn from the configured
+//! mix, each as one critical section under the scheme being measured.
+//! Throughput is operations per thousand simulated cycles.
+
+use elision_core::{make_scheme, SchemeConfig, SchemeKind};
+use elision_htm::{harness, HtmConfig, MemoryBuilder, TxnStats};
+use elision_sim::{OpCounters, SlotRecorder, SlotSeries};
+use elision_structures::{key_domain, HashTable, OpMix, RbTree, TreeOp};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+pub use elision_core::LockKind;
+
+/// Parameters of one tree-benchmark cell.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeBenchSpec {
+    /// Elision scheme under test.
+    pub scheme: SchemeKind,
+    /// Main-lock family.
+    pub lock: LockKind,
+    /// Simulated threads.
+    pub threads: usize,
+    /// Tree size (elements after the fill phase).
+    pub size: usize,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Operations per thread in the measured phase.
+    pub ops_per_thread: u64,
+    /// Scheduler lag window.
+    pub window: u64,
+    /// HTM configuration.
+    pub htm: HtmConfig,
+    /// RNG seed.
+    pub seed: u64,
+    /// When set, record per-slot series with this slot width (cycles).
+    pub slot_cycles: Option<u64>,
+}
+
+impl TreeBenchSpec {
+    /// A spec with the paper's defaults for the given scheme/lock cell.
+    pub fn new(scheme: SchemeKind, lock: LockKind, threads: usize, size: usize, mix: OpMix) -> Self {
+        TreeBenchSpec {
+            scheme,
+            lock,
+            threads,
+            size,
+            mix,
+            ops_per_thread: 1000,
+            window: crate::BENCH_WINDOW,
+            htm: HtmConfig::haswell(),
+            seed: 42,
+            slot_cycles: None,
+        }
+    }
+}
+
+/// The outcome of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct TreeBenchResult {
+    /// Operations per thousand simulated cycles.
+    pub throughput: f64,
+    /// Summed S/A/N counters.
+    pub counters: OpCounters,
+    /// Simulated makespan of the measured phase.
+    pub makespan: u64,
+    /// Summed transaction statistics (abort breakdown).
+    pub txn_stats: TxnStats,
+    /// Per-slot series (when requested).
+    pub slots: Option<SlotSeries>,
+}
+
+/// Run one tree-benchmark cell.
+pub fn run_tree_bench(spec: &TreeBenchSpec) -> TreeBenchResult {
+    let domain = key_domain(spec.size);
+    let mut b = MemoryBuilder::new();
+    let capacity = domain as usize + spec.threads * 4 + 16;
+    let tree = RbTree::new(&mut b, capacity, spec.threads);
+    let scheme = make_scheme(spec.scheme, spec.lock, SchemeConfig::paper(), &mut b, spec.threads);
+    let mem = Arc::new(b.freeze(spec.threads));
+    tree.init(&mem);
+
+    // Fill phase: single simulated thread, throwaway timing.
+    {
+        let tree = tree.clone();
+        let size = spec.size;
+        let fill_cfg = HtmConfig::deterministic();
+        harness::run_arc(1, 0, fill_cfg, spec.seed ^ 0xF111, Arc::clone(&mem), move |s| {
+            let mut filled = 0usize;
+            while filled < size {
+                let key = s.rng.below(domain);
+                if tree.insert(s, key).expect("fill runs without transactions") {
+                    filled += 1;
+                }
+            }
+        });
+    }
+    // The single-threaded fill drained the allocator pools unevenly;
+    // rebalance so measured threads allocate conflict-free.
+    tree.rebalance_freelists(&mem);
+
+    // Measured phase.
+    let slot_sink: Arc<Mutex<Vec<SlotRecorder>>> = Arc::new(Mutex::new(Vec::new()));
+    let (results, makespan) = {
+        let tree = tree.clone();
+        let scheme = Arc::clone(&scheme);
+        let ops = spec.ops_per_thread;
+        let mix = spec.mix;
+        let slot_cycles = spec.slot_cycles;
+        let slot_sink = Arc::clone(&slot_sink);
+        harness::run_arc(spec.threads, spec.window, spec.htm, spec.seed, Arc::clone(&mem), move |s| {
+            let mut slots = slot_cycles.map(SlotRecorder::new);
+            for _ in 0..ops {
+                // Draw the operation before entering the critical section
+                // so speculative retries replay the same operation.
+                let op = mix.draw(&mut s.rng);
+                let key = s.rng.below(domain);
+                let out = scheme.execute(s, |s| match op {
+                    TreeOp::Insert => tree.insert(s, key).map(|_| ()),
+                    TreeOp::Delete => tree.remove(s, key).map(|_| ()),
+                    TreeOp::Lookup => tree.contains(s, key).map(|_| ()),
+                });
+                if let Some(rec) = slots.as_mut() {
+                    rec.record(s.now(), out.nonspeculative);
+                }
+            }
+            if let Some(rec) = slots {
+                slot_sink.lock().expect("slot sink").push(rec);
+            }
+            (s.counters, s.stats)
+        })
+    };
+
+    let total_ops = spec.ops_per_thread * spec.threads as u64;
+    let counters = OpCounters::sum(results.iter().map(|(c, _)| c));
+    let mut txn_stats = TxnStats::default();
+    for (_, t) in &results {
+        txn_stats.merge(t);
+    }
+    debug_assert!(
+        spec.scheme == SchemeKind::NoLock || counters.completed() == total_ops,
+        "completed {} of {total_ops} operations",
+        counters.completed()
+    );
+    let slots = {
+        let mut sink = slot_sink.lock().expect("slot sink");
+        let mut iter = sink.drain(..);
+        iter.next().map(|mut first| {
+            for rec in iter {
+                first.merge(&rec);
+            }
+            first.into_series()
+        })
+    };
+    TreeBenchResult {
+        throughput: total_ops as f64 * 1000.0 / makespan.max(1) as f64,
+        counters,
+        makespan,
+        txn_stats,
+        slots,
+    }
+}
+
+/// Run a cell over several seeds and average throughput/counters.
+pub fn run_tree_bench_avg(spec: &TreeBenchSpec, seeds: u64) -> TreeBenchResult {
+    let mut throughput = 0.0;
+    let mut counters = OpCounters::new();
+    let mut txn_stats = TxnStats::default();
+    let mut makespan = 0u64;
+    for k in 0..seeds.max(1) {
+        let mut s = *spec;
+        s.seed = spec.seed.wrapping_add(k * 7919);
+        let r = run_tree_bench(&s);
+        throughput += r.throughput;
+        counters.merge(&r.counters);
+        txn_stats.merge(&r.txn_stats);
+        makespan += r.makespan;
+    }
+    let n = seeds.max(1);
+    TreeBenchResult {
+        throughput: throughput / n as f64,
+        counters,
+        makespan: makespan / n,
+        txn_stats,
+        slots: None,
+    }
+}
+
+/// Parameters of one hash-table benchmark cell (§7.1: "hash table
+/// transactions are always short").
+#[derive(Debug, Clone, Copy)]
+pub struct HashBenchSpec {
+    /// Elision scheme under test.
+    pub scheme: SchemeKind,
+    /// Main-lock family.
+    pub lock: LockKind,
+    /// Simulated threads.
+    pub threads: usize,
+    /// Table size (entries after fill).
+    pub size: usize,
+    /// Operation mix (insert/delete mapped to put/remove).
+    pub mix: OpMix,
+    /// Operations per thread.
+    pub ops_per_thread: u64,
+    /// Scheduler lag window.
+    pub window: u64,
+    /// HTM configuration.
+    pub htm: HtmConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Run one hash-table benchmark cell.
+pub fn run_hash_bench(spec: &HashBenchSpec) -> TreeBenchResult {
+    let domain = key_domain(spec.size);
+    let mut b = MemoryBuilder::new();
+    let capacity = domain as usize + 16;
+    let table = HashTable::new(&mut b, (spec.size / 2).max(16), capacity, spec.threads);
+    let scheme = make_scheme(spec.scheme, spec.lock, SchemeConfig::paper(), &mut b, spec.threads);
+    let mem = Arc::new(b.freeze(spec.threads));
+    table.init(&mem);
+
+    {
+        let table = table.clone();
+        let size = spec.size;
+        harness::run_arc(1, 0, HtmConfig::deterministic(), spec.seed ^ 0xF111, Arc::clone(&mem), move |s| {
+            let mut filled = 0usize;
+            while filled < size {
+                let key = s.rng.below(domain);
+                if table.put(s, key, key).expect("fill").is_none() {
+                    filled += 1;
+                }
+            }
+        });
+    }
+    table.rebalance_freelists(&mem);
+
+    let (results, makespan) = {
+        let table = table.clone();
+        let scheme = Arc::clone(&scheme);
+        let ops = spec.ops_per_thread;
+        let mix = spec.mix;
+        harness::run_arc(spec.threads, spec.window, spec.htm, spec.seed, Arc::clone(&mem), move |s| {
+            for _ in 0..ops {
+                let op = mix.draw(&mut s.rng);
+                let key = s.rng.below(domain);
+                scheme.execute(s, |s| match op {
+                    TreeOp::Insert => table.put(s, key, key).map(|_| ()),
+                    TreeOp::Delete => table.remove(s, key).map(|_| ()),
+                    TreeOp::Lookup => table.get(s, key).map(|_| ()),
+                });
+            }
+            (s.counters, s.stats)
+        })
+    };
+
+    let total_ops = spec.ops_per_thread * spec.threads as u64;
+    let mut txn_stats = TxnStats::default();
+    for (_, t) in &results {
+        txn_stats.merge(t);
+    }
+    TreeBenchResult {
+        throughput: total_ops as f64 * 1000.0 / makespan.max(1) as f64,
+        counters: OpCounters::sum(results.iter().map(|(c, _)| c)),
+        makespan,
+        txn_stats,
+        slots: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(scheme: SchemeKind, lock: LockKind) -> TreeBenchSpec {
+        let mut s = TreeBenchSpec::new(scheme, lock, 2, 32, OpMix::MODERATE);
+        s.ops_per_thread = 50;
+        s.window = 0;
+        s.htm = HtmConfig::deterministic();
+        s
+    }
+
+    #[test]
+    fn tree_bench_completes_all_ops() {
+        let r = run_tree_bench(&tiny_spec(SchemeKind::Hle, LockKind::Ttas));
+        assert_eq!(r.counters.completed(), 100);
+        assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn nolock_single_thread_baseline_runs() {
+        let mut s = tiny_spec(SchemeKind::NoLock, LockKind::Ttas);
+        s.threads = 1;
+        let r = run_tree_bench(&s);
+        assert_eq!(r.counters.completed(), 0, "NoLock records no S/A/N");
+        assert!(r.makespan > 0);
+    }
+
+    #[test]
+    fn slots_are_recorded_when_requested() {
+        let mut s = tiny_spec(SchemeKind::Hle, LockKind::Ttas);
+        s.slot_cycles = Some(500);
+        let r = run_tree_bench(&s);
+        let slots = r.slots.expect("slots requested");
+        assert!(!slots.is_empty());
+        let total: u64 = slots.completed.iter().sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn averaging_runs_multiple_seeds() {
+        let r = run_tree_bench_avg(&tiny_spec(SchemeKind::OptSlr, LockKind::Mcs), 2);
+        assert_eq!(r.counters.completed(), 200, "two seeds, 100 ops each");
+    }
+
+    #[test]
+    fn hash_bench_completes_all_ops() {
+        let spec = HashBenchSpec {
+            scheme: SchemeKind::HleScm,
+            lock: LockKind::Mcs,
+            threads: 2,
+            size: 64,
+            mix: OpMix::MODERATE,
+            ops_per_thread: 50,
+            window: 0,
+            htm: HtmConfig::deterministic(),
+            seed: 1,
+        };
+        let r = run_hash_bench(&spec);
+        assert_eq!(r.counters.completed(), 100);
+    }
+}

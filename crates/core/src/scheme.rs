@@ -1,0 +1,468 @@
+//! The elision schemes the paper evaluates (Section 7's "Methodology"):
+//!
+//! 1. **Standard** — the plain non-speculative lock.
+//! 2. **HLE** — hardware lock elision as-is (Figure 1 semantics): one
+//!    speculative attempt; on abort, the acquisition re-executes
+//!    non-transactionally.
+//! 3. **HLE-retries** — Intel's recommendation: wait for the lock to look
+//!    free and retry elision up to `max_retries` times before acquiring
+//!    for real. (For fair locks this effectively turns them into TTAS
+//!    locks, sacrificing fairness — paper §2.)
+//! 4. **HLE-SCM** — HLE plus software-assisted conflict management
+//!    (Figure 7): aborted threads serialize on an auxiliary lock and
+//!    *rejoin the speculative run*; only the auxiliary-lock holder may
+//!    eventually take the main lock. Keeps opacity via an eager
+//!    lock-subscription at transaction begin (the paper's RTM workaround
+//!    for Haswell's missing HLE-in-RTM nesting).
+//! 5. **opt SLR** — optimistic software-assisted lock removal (Figure 5):
+//!    run the transaction without touching the lock, subscribe *lazily*
+//!    at commit time, retry up to `max_retries` before acquiring for
+//!    real. Sacrifices opacity (sandboxed).
+//! 6. **SLR-SCM** — SLR with the SCM serializing path layered on top.
+//!
+//! Additionally **NoLock** (single-thread baseline used for the paper's
+//! speedup normalization) and a **true-nesting** SCM variant (elide the
+//! main lock inside the RTM transaction — the design Figure 7 describes
+//! but Haswell could not run) are provided.
+
+use elision_htm::{codes, Strand, TxResult};
+use elision_locks::{FallbackOutcome, RawLock};
+use elision_sim::AttemptKind;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which elision scheme to run (paper §7 "Methodology").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// No lock at all — valid only for single-threaded baseline runs.
+    NoLock,
+    /// Plain non-speculative locking.
+    Standard,
+    /// Hardware lock elision as-is.
+    Hle,
+    /// HLE with speculative retries (Intel's recommendation).
+    HleRetries,
+    /// HLE with software-assisted conflict management.
+    HleScm,
+    /// Optimistic software-assisted lock removal.
+    OptSlr,
+    /// SLR with conflict management.
+    SlrScm,
+    /// Extension of the paper's §6 remark / §8 future work: SCM with the
+    /// conflicting threads partitioned into *groups* by the cache line
+    /// the abort occurred on, each group serialized by its own auxiliary
+    /// lock — so threads conflicting on unrelated data do not serialize
+    /// with each other.
+    GroupedScm,
+}
+
+impl SchemeKind {
+    /// All schemes the paper's figures compare.
+    pub const ALL: [SchemeKind; 6] = [
+        SchemeKind::Standard,
+        SchemeKind::Hle,
+        SchemeKind::HleRetries,
+        SchemeKind::HleScm,
+        SchemeKind::OptSlr,
+        SchemeKind::SlrScm,
+    ];
+
+    /// The paper's label for this scheme.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchemeKind::NoLock => "NoLock",
+            SchemeKind::Standard => "Standard",
+            SchemeKind::Hle => "HLE",
+            SchemeKind::HleRetries => "HLE-retries",
+            SchemeKind::HleScm => "HLE-SCM",
+            SchemeKind::OptSlr => "opt SLR",
+            SchemeKind::SlrScm => "SLR-SCM",
+            SchemeKind::GroupedScm => "grouped-SCM",
+        }
+    }
+
+    /// Whether this scheme uses the SCM auxiliary lock(s).
+    pub fn uses_aux(&self) -> bool {
+        matches!(self, SchemeKind::HleScm | SchemeKind::SlrScm | SchemeKind::GroupedScm)
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Scheme tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeConfig {
+    /// Speculative attempts before giving up and taking the real lock
+    /// (the paper uses 10 for HLE-retries, opt SLR and the SCM aux-holder
+    /// budget).
+    pub max_retries: u32,
+    /// SLR tuning from §7: when the abort status says the transaction is
+    /// unlikely to succeed (e.g. capacity), skip the remaining retries.
+    pub slr_status_tuning: bool,
+    /// SCM extension: elide the main lock inside the RTM transaction
+    /// (true HLE-in-RTM nesting) instead of the read-and-check
+    /// workaround the paper had to use on Haswell.
+    pub scm_true_nesting: bool,
+}
+
+impl SchemeConfig {
+    /// The paper's configuration: 10 retries, SLR status tuning on,
+    /// Haswell-faithful SCM workaround.
+    pub fn paper() -> Self {
+        SchemeConfig { max_retries: 10, slr_status_tuning: true, scm_true_nesting: false }
+    }
+}
+
+impl Default for SchemeConfig {
+    fn default() -> Self {
+        SchemeConfig::paper()
+    }
+}
+
+/// How one critical-section execution completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOutcome<R> {
+    /// The critical section's return value.
+    pub value: R,
+    /// Whether the operation completed under the real lock.
+    pub nonspeculative: bool,
+    /// Total attempts (aborted speculative attempts + the completing one).
+    pub attempts: u32,
+}
+
+/// A lock wrapped in one of the paper's elision schemes.
+///
+/// One `Scheme` instance is shared by all simulated threads; per-execution
+/// state (retry counts, auxiliary-lock ownership) is transient and local.
+pub struct Scheme {
+    kind: SchemeKind,
+    cfg: SchemeConfig,
+    main: Arc<dyn RawLock>,
+    /// Auxiliary serializing locks: empty for non-SCM schemes, one for
+    /// classic SCM, several for grouped SCM.
+    aux: Vec<Arc<dyn RawLock>>,
+}
+
+impl fmt::Debug for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheme")
+            .field("kind", &self.kind)
+            .field("main", &self.main.name())
+            .field("aux", &self.aux.iter().map(|a| a.name()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Scheme {
+    /// Wrap `main` in the given scheme. SCM schemes require `aux` (the
+    /// paper recommends a fair lock; see [`SchemeKind::uses_aux`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an SCM scheme is requested without an auxiliary lock.
+    pub fn new(
+        kind: SchemeKind,
+        cfg: SchemeConfig,
+        main: Arc<dyn RawLock>,
+        aux: Option<Arc<dyn RawLock>>,
+    ) -> Self {
+        assert!(
+            !kind.uses_aux() || aux.is_some(),
+            "{kind} requires an auxiliary lock"
+        );
+        Scheme { kind, cfg, main, aux: aux.into_iter().collect() }
+    }
+
+    /// Build a grouped SCM scheme with one auxiliary lock per conflict
+    /// group (the §8 future-work extension). Aborted threads serialize on
+    /// `aux[hash(conflict line) % groups]`, so conflicts on unrelated
+    /// data do not serialize with each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aux` is empty.
+    pub fn new_grouped(
+        cfg: SchemeConfig,
+        main: Arc<dyn RawLock>,
+        aux: Vec<Arc<dyn RawLock>>,
+    ) -> Self {
+        assert!(!aux.is_empty(), "grouped SCM needs at least one auxiliary lock");
+        Scheme { kind: SchemeKind::GroupedScm, cfg, main, aux }
+    }
+
+    /// The scheme kind.
+    pub fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    /// The main lock.
+    pub fn main_lock(&self) -> &Arc<dyn RawLock> {
+        &self.main
+    }
+
+    /// Execute `body` as a critical section under this scheme.
+    ///
+    /// `body` may run several times (speculative retries) and must be
+    /// idempotent in its side effects *outside* simulated memory;
+    /// transactional memory effects roll back automatically. It must
+    /// propagate `Err(Abort)` outward (never swallow it).
+    ///
+    /// S/A/N counters are recorded into `s.counters`.
+    pub fn execute<R>(
+        &self,
+        s: &mut Strand,
+        mut body: impl FnMut(&mut Strand) -> TxResult<R>,
+    ) -> ExecOutcome<R> {
+        match self.kind {
+            SchemeKind::NoLock => {
+                let value = body(s).expect("non-speculative body cannot abort");
+                ExecOutcome { value, nonspeculative: false, attempts: 1 }
+            }
+            SchemeKind::Standard => {
+                let value = self.run_locked(s, &mut body);
+                s.counters.record(AttemptKind::NonSpeculative);
+                ExecOutcome { value, nonspeculative: true, attempts: 1 }
+            }
+            SchemeKind::Hle => self.execute_hle(s, &mut body, 1),
+            SchemeKind::HleRetries => self.execute_hle(s, &mut body, self.cfg.max_retries),
+            SchemeKind::HleScm => self.execute_scm(s, &mut body, Subscription::Eager),
+            SchemeKind::OptSlr => self.execute_slr(s, &mut body),
+            SchemeKind::SlrScm => self.execute_scm(s, &mut body, Subscription::Lazy),
+            SchemeKind::GroupedScm => self.execute_scm(s, &mut body, Subscription::Eager),
+        }
+    }
+
+    /// Acquire the main lock, run the body non-speculatively, release.
+    fn run_locked<R>(&self, s: &mut Strand, body: &mut impl FnMut(&mut Strand) -> TxResult<R>) -> R {
+        self.main.acquire(s).expect("non-speculative acquire cannot abort");
+        let value = body(s).expect("non-speculative body cannot abort");
+        self.main.release(s).expect("non-speculative release cannot abort");
+        value
+    }
+
+    /// One elided (XACQUIRE .. XRELEASE) speculative attempt.
+    fn attempt_elided<R>(
+        &self,
+        s: &mut Strand,
+        body: &mut impl FnMut(&mut Strand) -> TxResult<R>,
+    ) -> Result<R, elision_htm::AbortStatus> {
+        let main = &self.main;
+        s.attempt(|s| {
+            main.elided_acquire(s)?;
+            let v = body(s)?;
+            main.elided_release(s)?;
+            Ok(v)
+        })
+    }
+
+    /// Plain HLE (`budget == 1`) and HLE-retries (`budget == max_retries`).
+    fn execute_hle<R>(
+        &self,
+        s: &mut Strand,
+        body: &mut impl FnMut(&mut Strand) -> TxResult<R>,
+        budget: u32,
+    ) -> ExecOutcome<R> {
+        let retries_mode = budget > 1;
+        let mut attempts = 0u32;
+        let mut first_arrival = true;
+        loop {
+            // Figure 1's outer test-and-test loop: unfair locks (and any
+            // lock under Intel's retry guideline) wait until the lock
+            // looks free before issuing the XACQUIRE.
+            if !self.main.is_fair() || retries_mode {
+                let held = self.main.is_locked(s).expect("plain read cannot abort");
+                if held {
+                    if first_arrival {
+                        s.counters.arrived_lock_held += 1;
+                    }
+                    self.main.wait_until_free(s).expect("plain spin cannot abort");
+                }
+            }
+            first_arrival = false;
+
+            attempts += 1;
+            match self.attempt_elided(s, body) {
+                Ok(value) => {
+                    s.counters.record(AttemptKind::Speculative);
+                    return ExecOutcome { value, nonspeculative: false, attempts };
+                }
+                Err(_status) => {
+                    s.counters.record(AttemptKind::Aborted);
+                }
+            }
+
+            if attempts >= budget {
+                // HLE's hardware fallback: re-execute the acquisition
+                // non-transactionally. For TTAS this is a single TAS that
+                // may fail (then we loop: spin and re-elide — Figure 1);
+                // queue locks enqueue and block, serializing behind every
+                // other aborted thread (the lemming effect).
+                match self.main.fallback_acquire(s).expect("fallback cannot abort") {
+                    FallbackOutcome::Acquired => {
+                        let value = body(s).expect("non-speculative body cannot abort");
+                        self.main.release(s).expect("release cannot abort");
+                        s.counters.record(AttemptKind::NonSpeculative);
+                        attempts += 1;
+                        return ExecOutcome { value, nonspeculative: true, attempts };
+                    }
+                    FallbackOutcome::Busy => {
+                        // Lock held by another aborted thread: loop back,
+                        // wait for it to leave, then re-enter speculation.
+                    }
+                }
+            }
+        }
+    }
+
+    /// Optimistic SLR (Figure 5): no lock access until commit time.
+    fn execute_slr<R>(
+        &self,
+        s: &mut Strand,
+        body: &mut impl FnMut(&mut Strand) -> TxResult<R>,
+    ) -> ExecOutcome<R> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let main = &self.main;
+            let r = s.attempt(|s| {
+                let v = body(s)?;
+                // Lazy subscription: read the lock only when ready to
+                // commit; if it is held a non-speculative peer is inside
+                // the critical section and we may have seen inconsistent
+                // state — self-abort (Figure 5 line 24).
+                if main.is_locked(s)? {
+                    return Err(s.xabort(codes::LOCK_BUSY, true));
+                }
+                Ok(v)
+            });
+            match r {
+                Ok(value) => {
+                    s.counters.record(AttemptKind::Speculative);
+                    return ExecOutcome { value, nonspeculative: false, attempts };
+                }
+                Err(status) => {
+                    s.counters.record(AttemptKind::Aborted);
+                    let hopeless = self.cfg.slr_status_tuning && !status.retry_recommended;
+                    if attempts >= self.cfg.max_retries || hopeless {
+                        let value = self.run_locked(s, body);
+                        s.counters.record(AttemptKind::NonSpeculative);
+                        return ExecOutcome { value, nonspeculative: true, attempts: attempts + 1 };
+                    }
+                }
+            }
+        }
+    }
+
+    /// SCM (Figure 7), parameterized by when the transaction subscribes
+    /// to the main lock: eagerly at begin (HLE-SCM, opacity-preserving)
+    /// or lazily at commit (SLR-SCM).
+    fn execute_scm<R>(
+        &self,
+        s: &mut Strand,
+        body: &mut impl FnMut(&mut Strand) -> TxResult<R>,
+        subscription: Subscription,
+    ) -> ExecOutcome<R> {
+        // The group is chosen by the *first* abort's conflict location and
+        // then kept for the whole operation (at most one auxiliary lock is
+        // ever held, so groups cannot deadlock against each other).
+        let mut aux: &Arc<dyn RawLock> = self.aux.first().expect("SCM requires an auxiliary lock");
+        let mut aux_owner = false;
+        let mut retries = 0u32;
+        let mut attempts = 0u32;
+        let outcome = loop {
+            // With the eager (HLE-like) subscription, speculation while
+            // the main lock is held aborts instantly; wait it out first
+            // (the paper's HLE-SCM tuning).
+            if subscription == Subscription::Eager {
+                let held = self.main.is_locked(s).expect("plain read cannot abort");
+                if held {
+                    if attempts == 0 {
+                        s.counters.arrived_lock_held += 1;
+                    }
+                    self.main.wait_until_free(s).expect("plain spin cannot abort");
+                }
+            }
+
+            attempts += 1;
+            let main = &self.main;
+            let true_nesting = self.cfg.scm_true_nesting;
+            let r = s.attempt(|s| match subscription {
+                Subscription::Eager => {
+                    if true_nesting {
+                        // The design Figure 7 describes: nest the HLE
+                        // acquisition inside the RTM transaction.
+                        main.elided_acquire(s)?;
+                        let v = body(s)?;
+                        main.elided_release(s)?;
+                        Ok(v)
+                    } else {
+                        // Haswell workaround: put the main lock in the
+                        // read set and verify it is free.
+                        if main.is_locked(s)? {
+                            return Err(s.xabort(codes::LOCK_BUSY, true));
+                        }
+                        body(s)
+                    }
+                }
+                Subscription::Lazy => {
+                    let v = body(s)?;
+                    if main.is_locked(s)? {
+                        return Err(s.xabort(codes::LOCK_BUSY, true));
+                    }
+                    Ok(v)
+                }
+            });
+            let status = match r {
+                Ok(value) => {
+                    s.counters.record(AttemptKind::Speculative);
+                    break ExecOutcome { value, nonspeculative: false, attempts };
+                }
+                Err(status) => {
+                    s.counters.record(AttemptKind::Aborted);
+                    status
+                }
+            };
+
+            // Serializing path: group conflicting threads behind the
+            // auxiliary lock; the holder rejoins the speculative run.
+            if !aux_owner {
+                if self.kind == SchemeKind::GroupedScm && self.aux.len() > 1 {
+                    let group = status
+                        .conflict_line
+                        .map(|l| {
+                            (l as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize
+                                % self.aux.len()
+                        })
+                        .unwrap_or(0);
+                    aux = &self.aux[group];
+                }
+                aux.acquire(s).expect("aux acquire cannot abort");
+                aux_owner = true;
+            } else {
+                retries += 1;
+            }
+            if retries >= self.cfg.max_retries {
+                // The auxiliary-lock holder gives up: it is the only
+                // thread that may acquire the main lock, so this cannot
+                // deadlock and guarantees progress (paper §6).
+                let value = self.run_locked(s, body);
+                s.counters.record(AttemptKind::NonSpeculative);
+                break ExecOutcome { value, nonspeculative: true, attempts: attempts + 1 };
+            }
+        };
+        if aux_owner {
+            aux.release(s).expect("aux release cannot abort");
+        }
+        outcome
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Subscription {
+    Eager,
+    Lazy,
+}

@@ -1,0 +1,222 @@
+//! Abort signalling: the in-band marker that unwinds a speculative
+//! critical section, and the abort-status register the fallback path
+//! inspects (mirroring Haswell's `EAX` abort status).
+
+/// Zero-sized marker propagated through a speculative critical section via
+/// `Result`/`?` when the enclosing transaction has aborted.
+///
+/// By the time an operation returns `Err(Abort)`, the transaction has
+/// already been unwound (read/write sets cleared, abort penalty charged);
+/// the body must simply propagate the error outward to the scheme's
+/// fallback logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abort;
+
+/// Result of a single simulated memory operation.
+pub type TxResult<T> = Result<T, Abort>;
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// A conflicting access by another thread (data conflict or a
+    /// non-transactional write to a line in this transaction's read set —
+    /// the lemming-effect trigger).
+    Conflict,
+    /// The read or write set exceeded the simulated buffering capacity.
+    Capacity,
+    /// The transaction aborted itself (`XABORT`) with a code.
+    Explicit,
+    /// A spurious abort (the paper's Section 3.1: aborts not explained by
+    /// conflicts or capacity, injected here with a seeded RNG).
+    Spurious,
+    /// An HLE commit failed because the release did not restore the elided
+    /// lock to its original value.
+    HleRestore,
+}
+
+/// The simulated abort-status register, handed to fallback code.
+///
+/// Beyond Haswell's actual status bits, the simulator also reports *where*
+/// a conflict occurred ([`AbortStatus::conflict_line`]) — the abort
+/// information the paper's conclusion names as a promising direction for
+/// refined conflict management, exploited by the grouped-SCM extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortStatus {
+    /// Why the transaction aborted.
+    pub reason: AbortReason,
+    /// The `XABORT` code, when [`AbortReason::Explicit`].
+    pub explicit_code: Option<u8>,
+    /// Haswell's "retry" hint: set when the abort cause is transient
+    /// (conflicts, spurious aborts) and clear when retrying is unlikely to
+    /// help (capacity, restore violations). Explicit aborts carry the hint
+    /// the aborting code chose.
+    pub retry_recommended: bool,
+    /// The cache line on which the dooming conflict occurred, when known
+    /// (conflict aborts only; best-effort under races).
+    pub conflict_line: Option<u32>,
+}
+
+impl AbortStatus {
+    /// Status for a data-conflict abort.
+    pub fn conflict() -> Self {
+        AbortStatus {
+            reason: AbortReason::Conflict,
+            explicit_code: None,
+            retry_recommended: true,
+            conflict_line: None,
+        }
+    }
+
+    /// Status for a data-conflict abort at a known line.
+    pub fn conflict_at(line: u32) -> Self {
+        AbortStatus { conflict_line: Some(line), ..Self::conflict() }
+    }
+
+    /// Status for a capacity abort.
+    pub fn capacity() -> Self {
+        AbortStatus {
+            reason: AbortReason::Capacity,
+            explicit_code: None,
+            retry_recommended: false,
+            conflict_line: None,
+        }
+    }
+
+    /// Status for a spurious abort.
+    pub fn spurious() -> Self {
+        AbortStatus {
+            reason: AbortReason::Spurious,
+            explicit_code: None,
+            retry_recommended: true,
+            conflict_line: None,
+        }
+    }
+
+    /// Status for an HLE restore-check failure.
+    pub fn hle_restore() -> Self {
+        AbortStatus {
+            reason: AbortReason::HleRestore,
+            explicit_code: None,
+            retry_recommended: false,
+            conflict_line: None,
+        }
+    }
+
+    /// Status for an explicit `XABORT` with `code`; `retry` is the hint the
+    /// aborting code wants the fallback to see.
+    pub fn explicit(code: u8, retry: bool) -> Self {
+        AbortStatus {
+            reason: AbortReason::Explicit,
+            explicit_code: Some(code),
+            retry_recommended: retry,
+            conflict_line: None,
+        }
+    }
+
+    /// Whether this is an explicit abort carrying `code`.
+    pub fn is_explicit(&self, code: u8) -> bool {
+        self.reason == AbortReason::Explicit && self.explicit_code == Some(code)
+    }
+}
+
+/// Well-known `XABORT` codes used by the elision schemes.
+pub mod codes {
+    /// The lock was observed held (SLR commit-time check, SCM begin-time
+    /// subscription, or an elided acquire finding the lock busy).
+    pub const LOCK_BUSY: u8 = 0xA0;
+    /// A queue-lock elision attempt observed a predecessor in the queue.
+    pub const QUEUE_BUSY: u8 = 0xA1;
+    /// A bounded speculative spin expired (models timer-induced aborts of
+    /// transactions stuck waiting in-flight).
+    pub const SPIN_EXPIRED: u8 = 0xA2;
+}
+
+/// Per-thread transaction event statistics (begins/commits/aborts by
+/// cause); complementary to the paper's S/A/N operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    /// Transactions started.
+    pub begins: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Aborts caused by conflicts.
+    pub aborts_conflict: u64,
+    /// Aborts caused by capacity overflow.
+    pub aborts_capacity: u64,
+    /// Explicit (`XABORT`) aborts.
+    pub aborts_explicit: u64,
+    /// Injected spurious aborts.
+    pub aborts_spurious: u64,
+    /// HLE restore-check failures.
+    pub aborts_restore: u64,
+}
+
+impl TxnStats {
+    /// Total aborts of any cause.
+    pub fn aborts(&self) -> u64 {
+        self.aborts_conflict
+            + self.aborts_capacity
+            + self.aborts_explicit
+            + self.aborts_spurious
+            + self.aborts_restore
+    }
+
+    pub(crate) fn count_abort(&mut self, reason: AbortReason) {
+        match reason {
+            AbortReason::Conflict => self.aborts_conflict += 1,
+            AbortReason::Capacity => self.aborts_capacity += 1,
+            AbortReason::Explicit => self.aborts_explicit += 1,
+            AbortReason::Spurious => self.aborts_spurious += 1,
+            AbortReason::HleRestore => self.aborts_restore += 1,
+        }
+    }
+
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, other: &TxnStats) {
+        self.begins += other.begins;
+        self.commits += other.commits;
+        self.aborts_conflict += other.aborts_conflict;
+        self.aborts_capacity += other.aborts_capacity;
+        self.aborts_explicit += other.aborts_explicit;
+        self.aborts_spurious += other.aborts_spurious;
+        self.aborts_restore += other.aborts_restore;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_hints_match_causes() {
+        assert!(AbortStatus::conflict().retry_recommended);
+        assert!(AbortStatus::spurious().retry_recommended);
+        assert!(!AbortStatus::capacity().retry_recommended);
+        assert!(!AbortStatus::hle_restore().retry_recommended);
+    }
+
+    #[test]
+    fn explicit_codes_roundtrip() {
+        let st = AbortStatus::explicit(codes::LOCK_BUSY, false);
+        assert!(st.is_explicit(codes::LOCK_BUSY));
+        assert!(!st.is_explicit(codes::QUEUE_BUSY));
+        assert!(!st.retry_recommended);
+    }
+
+    #[test]
+    fn stats_tally_by_reason() {
+        let mut s = TxnStats::default();
+        s.count_abort(AbortReason::Conflict);
+        s.count_abort(AbortReason::Conflict);
+        s.count_abort(AbortReason::Capacity);
+        s.count_abort(AbortReason::Spurious);
+        s.count_abort(AbortReason::Explicit);
+        s.count_abort(AbortReason::HleRestore);
+        assert_eq!(s.aborts(), 6);
+        assert_eq!(s.aborts_conflict, 2);
+        let mut t = TxnStats::default();
+        t.merge(&s);
+        t.merge(&s);
+        assert_eq!(t.aborts(), 12);
+    }
+}

@@ -1,0 +1,88 @@
+//! Configuration of the simulated HTM.
+
+use elision_sim::CostModel;
+
+/// Tunables of the simulated transactional memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HtmConfig {
+    /// Maximum number of distinct cache lines a transaction may read
+    /// (models the L1/L2-backed read-set tracking capacity).
+    pub read_set_lines: usize,
+    /// Maximum number of distinct cache lines a transaction may write
+    /// (models L1 write buffering; Haswell: 32 KiB / 64 B = 512 lines).
+    pub write_set_lines: usize,
+    /// Probability that a freshly begun transaction is fated to abort
+    /// spuriously after a few accesses (paper §3.1: real TSX transactions
+    /// abort even in conflict-free workloads).
+    pub spurious_begin: f64,
+    /// Per-access probability of an immediate spurious abort.
+    pub spurious_access: f64,
+    /// Cycle costs for simulated events.
+    pub cost: CostModel,
+}
+
+impl HtmConfig {
+    /// The default Haswell-flavoured configuration, including a small
+    /// spurious-abort rate.
+    pub fn haswell() -> Self {
+        HtmConfig {
+            read_set_lines: 2048,
+            write_set_lines: 512,
+            spurious_begin: 0.002,
+            spurious_access: 0.00002,
+            cost: CostModel::haswell(),
+        }
+    }
+
+    /// A configuration with no spurious aborts; combined with a
+    /// zero-window scheduler this makes runs fully deterministic.
+    pub fn deterministic() -> Self {
+        HtmConfig { spurious_begin: 0.0, spurious_access: 0.0, ..Self::haswell() }
+    }
+
+    /// Override the spurious-abort rates.
+    pub fn with_spurious(mut self, per_begin: f64, per_access: f64) -> Self {
+        self.spurious_begin = per_begin;
+        self.spurious_access = per_access;
+        self
+    }
+
+    /// Override the capacity limits (in cache lines).
+    pub fn with_capacity(mut self, read_lines: usize, write_lines: usize) -> Self {
+        self.read_set_lines = read_lines;
+        self.write_set_lines = write_lines;
+        self
+    }
+
+    /// Override the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+impl Default for HtmConfig {
+    fn default() -> Self {
+        HtmConfig::haswell()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_disables_spurious() {
+        let c = HtmConfig::deterministic();
+        assert_eq!(c.spurious_begin, 0.0);
+        assert_eq!(c.spurious_access, 0.0);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = HtmConfig::haswell().with_capacity(8, 4).with_spurious(0.5, 0.1);
+        assert_eq!(c.read_set_lines, 8);
+        assert_eq!(c.write_set_lines, 4);
+        assert_eq!(c.spurious_begin, 0.5);
+    }
+}

@@ -1,0 +1,424 @@
+//! Simulated shared memory: words grouped into cache lines, with per-line
+//! reader/writer bitmaps driving the requestor-wins conflict engine.
+//!
+//! All shared state that simulated threads may race on lives here as
+//! 64-bit words addressed by [`VarId`]. Words are grouped into cache
+//! lines ([`Memory::words_per_line`] words each); conflict detection is
+//! line-granular, exactly like the coherency-protocol-based detection of
+//! real HTMs — including false sharing between unrelated words on one
+//! line.
+//!
+//! Memory is built single-threaded through a [`MemoryBuilder`] and then
+//! frozen; the word *set* is immutable during a run while the word
+//! *values* are updated through `Strand` accesses. Dynamic structures
+//! (tree nodes, queue links) manage free-lists over pre-allocated regions.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies one 64-bit word of simulated shared memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Sentinel used by pointer-like fields ("null").
+    pub const NULL: VarId = VarId(u32::MAX);
+
+    /// Encode this id as a word value (for storing links in memory).
+    /// `NULL` maps to `u64::MAX`.
+    pub fn to_word(self) -> u64 {
+        if self == VarId::NULL {
+            u64::MAX
+        } else {
+            self.0 as u64
+        }
+    }
+
+    /// Decode a word value previously produced by [`VarId::to_word`].
+    pub fn from_word(w: u64) -> VarId {
+        if w == u64::MAX {
+            VarId::NULL
+        } else {
+            VarId(u32::try_from(w).expect("word does not encode a VarId"))
+        }
+    }
+
+    /// The raw index (for arena arithmetic). `NULL` has index `u32::MAX`.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Construct from a raw index produced by [`VarId::index`].
+    pub fn from_index(i: u32) -> VarId {
+        VarId(i)
+    }
+}
+
+/// Identifies a cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineId(pub(crate) u32);
+
+impl LineId {
+    /// The raw line index (matches [`crate::AbortStatus::conflict_line`]).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct LineMeta {
+    /// Bit `t` set: simulated thread `t` has this line in its read set.
+    readers: AtomicU64,
+    /// Bit `t` set: simulated thread `t` has this line in its write set.
+    writers: AtomicU64,
+}
+
+impl LineMeta {
+    fn new() -> Self {
+        LineMeta { readers: AtomicU64::new(0), writers: AtomicU64::new(0) }
+    }
+}
+
+/// Builder for [`Memory`]; allocation is only possible before freezing.
+#[derive(Debug, Default)]
+pub struct MemoryBuilder {
+    values: Vec<u64>,
+    words_per_line: usize,
+}
+
+impl MemoryBuilder {
+    /// Create a builder with the default line width of 8 words (64 bytes).
+    pub fn new() -> Self {
+        MemoryBuilder { values: Vec::new(), words_per_line: 8 }
+    }
+
+    /// Override the number of words per cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wpl` is zero or if words were already allocated.
+    pub fn words_per_line(mut self, wpl: usize) -> Self {
+        assert!(wpl > 0, "a line must hold at least one word");
+        assert!(self.values.is_empty(), "set words_per_line before allocating");
+        self.words_per_line = wpl;
+        self
+    }
+
+    /// Allocate one word initialized to `init`.
+    pub fn alloc(&mut self, init: u64) -> VarId {
+        let id = VarId(u32::try_from(self.values.len()).expect("memory too large"));
+        self.values.push(init);
+        id
+    }
+
+    /// Allocate `n` contiguous words, all initialized to `init`; returns
+    /// the id of the first. Subsequent words are `first.index() + k`.
+    pub fn alloc_array(&mut self, n: usize, init: u64) -> VarId {
+        assert!(n > 0, "empty arrays have no id");
+        let first = self.alloc(init);
+        for _ in 1..n {
+            self.alloc(init);
+        }
+        first
+    }
+
+    /// Allocate one word on its *own* cache line (padding around it), so
+    /// that no unrelated word ever false-shares with it. Used for locks.
+    pub fn alloc_isolated(&mut self, init: u64) -> VarId {
+        self.pad_to_line();
+        let id = self.alloc(init);
+        self.pad_to_line();
+        id
+    }
+
+    /// Pad the allocation cursor to the next line boundary, so the next
+    /// allocation starts a fresh line.
+    pub fn pad_to_line(&mut self) {
+        while self.values.len() % self.words_per_line != 0 {
+            self.values.push(0);
+        }
+    }
+
+    /// Number of words allocated so far.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Freeze into an immutable-shape [`Memory`] usable by `threads`
+    /// simulated threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or exceeds 64 (the conflict-bitmap
+    /// width).
+    pub fn freeze(self, threads: usize) -> Memory {
+        assert!(threads >= 1 && threads <= 64, "1..=64 simulated threads supported");
+        let wpl = self.words_per_line;
+        let n_lines = self.values.len().div_ceil(wpl).max(1);
+        Memory {
+            words: self.values.into_iter().map(AtomicU64::new).collect(),
+            lines: (0..n_lines).map(|_| LineMeta::new()).collect(),
+            dooms: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            doom_lines: (0..threads).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            epochs: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            engine: Mutex::new(()),
+            words_per_line: wpl,
+        }
+    }
+}
+
+/// The frozen simulated memory plus the conflict engine's shared state.
+#[derive(Debug)]
+pub struct Memory {
+    words: Vec<AtomicU64>,
+    lines: Vec<LineMeta>,
+    /// Per-thread doom word: `(epoch << 8) | reason_code`, meaningful only
+    /// while it matches the victim's current (odd) epoch.
+    dooms: Vec<AtomicU64>,
+    /// Per-thread best-effort record of the line the dooming conflict
+    /// touched (written just before the doom word; `u64::MAX` = unknown).
+    doom_lines: Vec<AtomicU64>,
+    /// Per-thread transaction epoch: odd while inside a transaction.
+    epochs: Vec<AtomicU64>,
+    /// Serializes commit publication and non-transactional writes/RMWs so
+    /// a lock acquisition and a transaction commit are totally ordered.
+    engine: Mutex<()>,
+    words_per_line: usize,
+}
+
+pub(crate) const REASON_CONFLICT: u64 = 1;
+
+impl Memory {
+    /// Number of words.
+    pub fn words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of cache lines.
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Words per cache line.
+    pub fn words_per_line(&self) -> usize {
+        self.words_per_line
+    }
+
+    /// Number of simulated threads this memory supports.
+    pub fn threads(&self) -> usize {
+        self.dooms.len()
+    }
+
+    /// The cache line containing `var`.
+    pub fn line_of(&self, var: VarId) -> LineId {
+        debug_assert!(var != VarId::NULL, "dereferencing NULL");
+        LineId(var.0 / self.words_per_line as u32)
+    }
+
+    /// Read a word without any simulation bookkeeping. For setup,
+    /// validation and post-run assertions only — never call this from a
+    /// simulated thread during a run.
+    pub fn read_direct(&self, var: VarId) -> u64 {
+        self.words[var.0 as usize].load(Ordering::SeqCst)
+    }
+
+    /// Write a word without any simulation bookkeeping (see
+    /// [`Memory::read_direct`] for the usage restriction).
+    pub fn write_direct(&self, var: VarId, value: u64) {
+        self.words[var.0 as usize].store(value, Ordering::SeqCst);
+    }
+
+    // ---- conflict-engine internals (crate-visible for Strand) ----
+
+    pub(crate) fn raw_load(&self, var: VarId) -> u64 {
+        self.words[var.0 as usize].load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn raw_store(&self, var: VarId, value: u64) {
+        self.words[var.0 as usize].store(value, Ordering::SeqCst);
+    }
+
+    pub(crate) fn engine_lock(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.engine.lock()
+    }
+
+    pub(crate) fn set_reader(&self, line: LineId, tid: usize) {
+        self.lines[line.0 as usize].readers.fetch_or(1 << tid, Ordering::SeqCst);
+    }
+
+    pub(crate) fn set_writer(&self, line: LineId, tid: usize) {
+        self.lines[line.0 as usize].writers.fetch_or(1 << tid, Ordering::SeqCst);
+    }
+
+    pub(crate) fn clear_reader(&self, line: LineId, tid: usize) {
+        self.lines[line.0 as usize].readers.fetch_and(!(1 << tid), Ordering::SeqCst);
+    }
+
+    pub(crate) fn clear_writer(&self, line: LineId, tid: usize) {
+        self.lines[line.0 as usize].writers.fetch_and(!(1 << tid), Ordering::SeqCst);
+    }
+
+    pub(crate) fn readers_of(&self, line: LineId) -> u64 {
+        self.lines[line.0 as usize].readers.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn writers_of(&self, line: LineId) -> u64 {
+        self.lines[line.0 as usize].writers.load(Ordering::SeqCst)
+    }
+
+    /// Doom every thread in `bitmap` except `except` (requestor wins),
+    /// recording `line` as the conflict location.
+    pub(crate) fn doom_bitmap(&self, bitmap: u64, except: usize, line: LineId) {
+        let mut bits = bitmap & !(1u64 << except);
+        while bits != 0 {
+            let victim = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.doom_thread(victim, line);
+        }
+    }
+
+    /// Mark `victim`'s current transaction (if any) as conflict-aborted at
+    /// `line`. A store of `(epoch << 8) | reason` suffices: the victim
+    /// only honours the doom while its epoch matches, so late dooms aimed
+    /// at an already finished transaction are ignored. The conflict line
+    /// is best-effort (a concurrent doom may overwrite it) — like the
+    /// abort-address hints real hardware could provide.
+    pub(crate) fn doom_thread(&self, victim: usize, line: LineId) {
+        let e = self.epochs[victim].load(Ordering::SeqCst);
+        if e & 1 == 1 {
+            self.doom_lines[victim].store(line.0 as u64, Ordering::SeqCst);
+            self.dooms[victim].store((e << 8) | REASON_CONFLICT, Ordering::SeqCst);
+        }
+    }
+
+    /// The best-effort conflict location recorded with `tid`'s doom.
+    pub(crate) fn doom_line(&self, tid: usize) -> Option<u32> {
+        let v = self.doom_lines[tid].load(Ordering::SeqCst);
+        u32::try_from(v).ok()
+    }
+
+    pub(crate) fn begin_epoch(&self, tid: usize) -> u64 {
+        // 0 -> 1, 2 -> 3, ...: the new odd value marks "in transaction".
+        let e = self.epochs[tid].load(Ordering::SeqCst) + 1;
+        debug_assert!(e & 1 == 1, "begin inside a transaction");
+        self.epochs[tid].store(e, Ordering::SeqCst);
+        e
+    }
+
+    pub(crate) fn end_epoch(&self, tid: usize) {
+        let e = self.epochs[tid].load(Ordering::SeqCst) + 1;
+        debug_assert!(e & 1 == 0, "end outside a transaction");
+        self.epochs[tid].store(e, Ordering::SeqCst);
+    }
+
+    /// Whether `tid`'s transaction at `epoch` has been doomed by a peer.
+    pub(crate) fn is_doomed(&self, tid: usize, epoch: u64) -> bool {
+        self.dooms[tid].load(Ordering::SeqCst) >> 8 == epoch
+    }
+
+    /// Test-visible: true if any reader/writer bits remain set anywhere.
+    /// After a quiescent point (no live transactions) this must be false.
+    pub fn any_residual_bits(&self) -> bool {
+        self.lines.iter().any(|l| {
+            l.readers.load(Ordering::SeqCst) != 0 || l.writers.load(Ordering::SeqCst) != 0
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varid_word_roundtrip() {
+        assert_eq!(VarId::from_word(VarId(5).to_word()), VarId(5));
+        assert_eq!(VarId::from_word(VarId::NULL.to_word()), VarId::NULL);
+        assert_eq!(VarId::NULL.to_word(), u64::MAX);
+    }
+
+    #[test]
+    fn lines_group_words() {
+        let mut b = MemoryBuilder::new().words_per_line(4);
+        let a = b.alloc(0);
+        let _ = b.alloc_array(3, 0);
+        let c = b.alloc(0); // word 4 -> line 1
+        let m = b.freeze(2);
+        assert_eq!(m.line_of(a), LineId(0));
+        assert_eq!(m.line_of(c), LineId(1));
+        assert_eq!(m.line_count(), 2);
+    }
+
+    #[test]
+    fn isolated_allocation_owns_its_line() {
+        let mut b = MemoryBuilder::new().words_per_line(4);
+        let _x = b.alloc(0);
+        let lock = b.alloc_isolated(7);
+        let y = b.alloc(0);
+        let m = b.freeze(1);
+        assert_ne!(m.line_of(lock), m.line_of(y));
+        assert_eq!(m.read_direct(lock), 7);
+        // The isolated word starts a fresh line and nothing follows it on
+        // that line.
+        assert_eq!(lock.index() % 4, 0);
+        assert_eq!(y.index() % 4, 0);
+    }
+
+    #[test]
+    fn dooms_respect_epochs() {
+        let mut b = MemoryBuilder::new();
+        let _ = b.alloc(0);
+        let m = b.freeze(2);
+        // Not in a transaction: dooming is a no-op.
+        m.doom_thread(0, LineId(0));
+        assert!(!m.is_doomed(0, 1));
+        // In a transaction: doom lands.
+        let e = m.begin_epoch(0);
+        m.doom_thread(0, LineId(3));
+        assert!(m.is_doomed(0, e));
+        assert_eq!(m.doom_line(0), Some(3));
+        m.end_epoch(0);
+        // A new transaction is unaffected by the stale doom.
+        let e2 = m.begin_epoch(0);
+        assert!(!m.is_doomed(0, e2));
+        m.end_epoch(0);
+    }
+
+    #[test]
+    fn doom_bitmap_skips_self() {
+        let mut b = MemoryBuilder::new();
+        let _ = b.alloc(0);
+        let m = b.freeze(3);
+        let e0 = m.begin_epoch(0);
+        let e2 = m.begin_epoch(2);
+        m.doom_bitmap(0b101, 0, LineId(1));
+        assert!(!m.is_doomed(0, e0), "requestor must not doom itself");
+        assert!(m.is_doomed(2, e2));
+    }
+
+    #[test]
+    fn bitmap_set_clear() {
+        let mut b = MemoryBuilder::new();
+        let v = b.alloc(0);
+        let m = b.freeze(4);
+        let line = m.line_of(v);
+        m.set_reader(line, 1);
+        m.set_writer(line, 3);
+        assert_eq!(m.readers_of(line), 0b10);
+        assert_eq!(m.writers_of(line), 0b1000);
+        assert!(m.any_residual_bits());
+        m.clear_reader(line, 1);
+        m.clear_writer(line, 3);
+        assert!(!m.any_residual_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn too_many_threads_rejected() {
+        MemoryBuilder::new().freeze(65);
+    }
+}

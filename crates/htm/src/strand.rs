@@ -1,0 +1,602 @@
+//! [`Strand`]: a simulated thread's view of shared memory, with the
+//! transaction machinery (begin / commit / abort, read & write sets,
+//! write buffering, HLE elision) layered on top.
+//!
+//! The same critical-section code runs speculatively or non-speculatively
+//! depending on whether a transaction is active — mirroring how identical
+//! machine code runs under real HLE. Every access returns
+//! [`TxResult`]; outside a transaction operations never fail, inside one
+//! they return `Err(Abort)` once the transaction has been doomed, after
+//! unwinding it (clearing conflict bitmaps and charging the abort
+//! penalty).
+
+use crate::abort::{codes, Abort, AbortStatus, TxResult, TxnStats};
+use crate::config::HtmConfig;
+use crate::memory::{LineId, Memory, VarId};
+use elision_sim::{DetRng, OpCounters, SimHandle, TraceEvent, TraceRing};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// State of one in-flight transaction.
+#[derive(Debug)]
+struct Txn {
+    epoch: u64,
+    read_lines: HashSet<u32>,
+    write_lines: HashSet<u32>,
+    /// Speculative write buffer: values invisible to peers until commit.
+    wbuf: HashMap<VarId, u64>,
+    /// Elided (XACQUIRE'd) variables: their buffered value is a local
+    /// illusion, never published, and must be restored by commit time.
+    elided: Vec<(VarId, u64)>,
+    /// Remaining accesses until an injected spurious abort fires.
+    spurious_fuse: Option<u32>,
+}
+
+impl Txn {
+    fn is_elided(&self, var: VarId) -> bool {
+        self.elided.iter().any(|&(v, _)| v == var)
+    }
+}
+
+/// A simulated thread's handle onto shared memory and the HTM.
+///
+/// One `Strand` per simulated thread; it owns the thread's transaction
+/// descriptor, its deterministic RNG streams and its statistics. All
+/// simulated work — including pure compute and busy-wait iterations — must
+/// go through a `Strand` (or directly through [`SimHandle::advance`]) so
+/// logical time advances.
+#[derive(Debug)]
+pub struct Strand {
+    mem: Arc<Memory>,
+    sim: SimHandle,
+    tid: usize,
+    cfg: HtmConfig,
+    txn: Option<Txn>,
+    last_abort: AbortStatus,
+    htm_rng: DetRng,
+    /// Deterministic RNG stream for workload decisions (key choices,
+    /// operation mixes). Separate from the internal spurious-abort stream
+    /// so workloads draw identical sequences across schemes.
+    pub rng: DetRng,
+    /// Transaction event statistics.
+    pub stats: TxnStats,
+    /// The paper's S/A/N operation counters, recorded by elision schemes.
+    pub counters: OpCounters,
+    /// Optional bounded execution trace (see [`Strand::enable_trace`]).
+    pub trace: Option<TraceRing>,
+}
+
+impl Strand {
+    /// Create the strand for the simulated thread behind `sim`.
+    ///
+    /// `seed` drives both the workload RNG stream and the (independent)
+    /// spurious-abort stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's thread id is out of range for `mem`.
+    pub fn new(mem: Arc<Memory>, sim: SimHandle, cfg: HtmConfig, seed: u64) -> Self {
+        let tid = sim.id();
+        assert!(tid < mem.threads(), "thread id {tid} out of range for memory");
+        Strand {
+            mem,
+            sim,
+            tid,
+            cfg,
+            txn: None,
+            last_abort: AbortStatus::conflict(),
+            htm_rng: DetRng::new(seed, 1_000_000 + tid as u64),
+            rng: DetRng::new(seed, tid as u64),
+            stats: TxnStats::default(),
+            counters: OpCounters::new(),
+            trace: None,
+        }
+    }
+
+    /// Start recording transaction events into a bounded ring of
+    /// `capacity` entries (see [`TraceRing`]); any previous trace is
+    /// replaced.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceRing::new(capacity));
+    }
+
+    fn trace_event(&mut self, ev: TraceEvent) {
+        if let Some(ring) = self.trace.as_mut() {
+            ring.record(self.sim.now(), ev);
+        }
+    }
+
+    /// The simulated thread id.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Number of simulated threads in the run.
+    pub fn threads(&self) -> usize {
+        self.mem.threads()
+    }
+
+    /// The thread's logical clock.
+    pub fn now(&self) -> u64 {
+        self.sim.now()
+    }
+
+    /// The shared memory.
+    pub fn memory(&self) -> &Arc<Memory> {
+        &self.mem
+    }
+
+    /// The HTM configuration.
+    pub fn config(&self) -> &HtmConfig {
+        &self.cfg
+    }
+
+    /// Whether a transaction is currently active (the `XTEST` of the
+    /// paper's pseudo-code).
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// The status of the most recent abort.
+    pub fn last_abort(&self) -> AbortStatus {
+        self.last_abort
+    }
+
+    // ------------------------------------------------------------------
+    // transaction lifecycle
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction (`XBEGIN`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already active (the schemes never nest
+    /// `XBEGIN`; HLE-in-RTM nesting is expressed via [`Strand::elide_rmw`]
+    /// inside one transaction, matching TSX's flat nesting).
+    pub fn begin(&mut self) {
+        assert!(self.txn.is_none(), "flat nesting: begin inside a transaction");
+        self.sim.advance(self.cfg.cost.txn_begin);
+        let epoch = self.mem.begin_epoch(self.tid);
+        let spurious_fuse = if self.htm_rng.chance(self.cfg.spurious_begin) {
+            Some(1 + self.htm_rng.below(24) as u32)
+        } else {
+            None
+        };
+        self.stats.begins += 1;
+        self.trace_event(TraceEvent::TxnBegin);
+        self.txn = Some(Txn {
+            epoch,
+            read_lines: HashSet::new(),
+            write_lines: HashSet::new(),
+            wbuf: HashMap::new(),
+            elided: Vec::new(),
+            spurious_fuse,
+        });
+    }
+
+    /// Commit the active transaction (`XEND`), publishing buffered writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort status if the transaction was doomed by a
+    /// conflict, hit an injected spurious abort, or failed the HLE
+    /// restore check. The transaction is fully unwound in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn commit(&mut self) -> Result<(), AbortStatus> {
+        assert!(self.txn.is_some(), "commit outside a transaction");
+        self.sim.advance(self.cfg.cost.txn_commit);
+        if let Err(Abort) = self.health_check() {
+            return Err(self.last_abort);
+        }
+        // HLE restore check: every elided variable must have been restored
+        // to its pre-acquire value, else the hardware cannot elide.
+        let restore_ok = {
+            let txn = self.txn.as_ref().expect("checked above");
+            txn.elided.iter().all(|&(var, original)| txn.wbuf.get(&var) == Some(&original))
+        };
+        if !restore_ok {
+            self.unwind(AbortStatus::hle_restore());
+            return Err(self.last_abort);
+        }
+        // Elided values are an illusion: drop them instead of publishing.
+        {
+            let txn = self.txn.as_mut().expect("checked above");
+            let elided: Vec<VarId> = txn.elided.iter().map(|&(v, _)| v).collect();
+            for v in elided {
+                txn.wbuf.remove(&v);
+            }
+        }
+        // Publication must be ordered against non-transactional writes and
+        // other commits: take the engine lock, re-check the doom flag, then
+        // make all buffered writes visible, aborting every peer that read
+        // or speculatively wrote the published lines.
+        let doomed_at_last_moment = {
+            let _guard = self.mem.engine_lock();
+            let txn = self.txn.as_ref().expect("checked above");
+            if self.mem.is_doomed(self.tid, txn.epoch) {
+                true
+            } else {
+                for (&var, &val) in &txn.wbuf {
+                    self.mem.raw_store(var, val);
+                    let line = self.mem.line_of(var);
+                    let peers = self.mem.readers_of(line) | self.mem.writers_of(line);
+                    self.mem.doom_bitmap(peers, self.tid, line);
+                }
+                false
+            }
+        };
+        if doomed_at_last_moment {
+            self.unwind(AbortStatus::conflict());
+            return Err(self.last_abort);
+        }
+        // Success: retire the epoch first so stale dooms become no-ops,
+        // then clear the conflict bitmaps.
+        self.mem.end_epoch(self.tid);
+        let txn = self.txn.take().expect("checked above");
+        for &l in &txn.read_lines {
+            self.mem.clear_reader(LineId(l), self.tid);
+        }
+        for &l in &txn.write_lines {
+            self.mem.clear_writer(LineId(l), self.tid);
+        }
+        self.stats.commits += 1;
+        self.trace_event(TraceEvent::TxnCommit);
+        Ok(())
+    }
+
+    /// Explicitly abort the active transaction (`XABORT code`), unwinding
+    /// it. `retry` is the hint placed in the abort status.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn xabort(&mut self, code: u8, retry: bool) -> Abort {
+        assert!(self.txn.is_some(), "xabort outside a transaction");
+        self.unwind(AbortStatus::explicit(code, retry));
+        Abort
+    }
+
+    /// Run one speculative attempt: begin, execute `body`, commit.
+    ///
+    /// If `body` returns `Err(Abort)` the transaction has already been
+    /// unwound and the abort status is returned. A committed body's value
+    /// is returned as `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// The abort status of whatever ended the attempt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `body` swallows an abort (returns `Ok` while the
+    /// transaction is gone) — critical sections must propagate `Abort`.
+    pub fn attempt<R>(
+        &mut self,
+        body: impl FnOnce(&mut Strand) -> TxResult<R>,
+    ) -> Result<R, AbortStatus> {
+        self.begin();
+        match body(self) {
+            Ok(v) => {
+                assert!(
+                    self.txn.is_some(),
+                    "critical section swallowed an abort instead of propagating it"
+                );
+                self.commit().map(|()| v)
+            }
+            Err(Abort) => {
+                debug_assert!(self.txn.is_none(), "Err(Abort) without unwinding");
+                Err(self.last_abort)
+            }
+        }
+    }
+
+    fn unwind(&mut self, status: AbortStatus) {
+        let txn = self.txn.take().expect("unwind without a transaction");
+        self.mem.end_epoch(self.tid);
+        for &l in &txn.read_lines {
+            self.mem.clear_reader(LineId(l), self.tid);
+        }
+        for &l in &txn.write_lines {
+            self.mem.clear_writer(LineId(l), self.tid);
+        }
+        self.stats.count_abort(status.reason);
+        let code = match status.reason {
+            crate::abort::AbortReason::Conflict => 1,
+            crate::abort::AbortReason::Capacity => 2,
+            crate::abort::AbortReason::Explicit => 3,
+            crate::abort::AbortReason::Spurious => 4,
+            crate::abort::AbortReason::HleRestore => 5,
+        };
+        self.trace_event(TraceEvent::TxnAbort(code));
+        self.last_abort = status;
+        self.sim.advance(self.cfg.cost.txn_abort);
+    }
+
+    /// Check doom flag and spurious-abort injection; unwinds on failure.
+    fn health_check(&mut self) -> TxResult<()> {
+        let Some(txn) = self.txn.as_mut() else { return Ok(()) };
+        if self.mem.is_doomed(self.tid, txn.epoch) {
+            let status = match self.mem.doom_line(self.tid) {
+                Some(line) => AbortStatus::conflict_at(line),
+                None => AbortStatus::conflict(),
+            };
+            self.unwind(status);
+            return Err(Abort);
+        }
+        if let Some(fuse) = txn.spurious_fuse.as_mut() {
+            *fuse -= 1;
+            if *fuse == 0 {
+                self.unwind(AbortStatus::spurious());
+                return Err(Abort);
+            }
+        }
+        if self.cfg.spurious_access > 0.0 && self.htm_rng.chance(self.cfg.spurious_access) {
+            self.unwind(AbortStatus::spurious());
+            return Err(Abort);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // memory accesses
+    // ------------------------------------------------------------------
+
+    /// Register `line` in the read set (requestor wins: dooms speculative
+    /// writers). Unwinds with a capacity abort when the read set is full.
+    fn track_read(&mut self, line: LineId) -> TxResult<()> {
+        let txn = self.txn.as_mut().expect("track_read outside txn");
+        if txn.read_lines.contains(&line.0) {
+            return Ok(());
+        }
+        if txn.read_lines.len() >= self.cfg.read_set_lines {
+            self.unwind(AbortStatus::capacity());
+            return Err(Abort);
+        }
+        txn.read_lines.insert(line.0);
+        self.mem.set_reader(line, self.tid);
+        let writers = self.mem.writers_of(line);
+        self.mem.doom_bitmap(writers, self.tid, line);
+        Ok(())
+    }
+
+    /// Register `line` in the write set (dooming peer readers *and*
+    /// writers). Unwinds with a capacity abort when the write set is full.
+    fn track_write(&mut self, line: LineId) -> TxResult<()> {
+        let txn = self.txn.as_mut().expect("track_write outside txn");
+        if txn.write_lines.contains(&line.0) {
+            return Ok(());
+        }
+        if txn.write_lines.len() >= self.cfg.write_set_lines {
+            self.unwind(AbortStatus::capacity());
+            return Err(Abort);
+        }
+        txn.write_lines.insert(line.0);
+        self.mem.set_writer(line, self.tid);
+        let peers = self.mem.readers_of(line) | self.mem.writers_of(line);
+        self.mem.doom_bitmap(peers, self.tid, line);
+        Ok(())
+    }
+
+    /// Load a word.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Abort)` if the enclosing transaction aborted (it has been
+    /// unwound). Never fails outside a transaction.
+    pub fn load(&mut self, var: VarId) -> TxResult<u64> {
+        self.sim.advance(self.cfg.cost.load);
+        if self.txn.is_some() {
+            self.health_check()?;
+            if let Some(&v) = self.txn.as_ref().expect("in txn").wbuf.get(&var) {
+                return Ok(v);
+            }
+            let line = self.mem.line_of(var);
+            self.track_read(line)?;
+            let v = self.mem.raw_load(var);
+            // Re-check after reading so a value published concurrently
+            // with our registration is never returned to a live
+            // transaction (keeps undoomed transactions opaque).
+            self.health_check()?;
+            Ok(v)
+        } else {
+            let v = self.mem.raw_load(var);
+            // A non-transactional read of a line in a peer's speculative
+            // write set aborts that peer (requestor wins).
+            let line = self.mem.line_of(var);
+            let writers = self.mem.writers_of(line);
+            if writers != 0 {
+                self.mem.doom_bitmap(writers, self.tid, line);
+            }
+            Ok(v)
+        }
+    }
+
+    /// Store a word.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Abort)` if the enclosing transaction aborted. Never fails
+    /// outside a transaction.
+    pub fn store(&mut self, var: VarId, value: u64) -> TxResult<()> {
+        self.sim.advance(self.cfg.cost.store);
+        if self.txn.is_some() {
+            self.health_check()?;
+            let elided = self.txn.as_ref().expect("in txn").is_elided(var);
+            if !elided {
+                let line = self.mem.line_of(var);
+                self.track_write(line)?;
+            }
+            self.txn.as_mut().expect("in txn").wbuf.insert(var, value);
+            Ok(())
+        } else {
+            let _guard = self.mem.engine_lock();
+            self.mem.raw_store(var, value);
+            let line = self.mem.line_of(var);
+            let peers = self.mem.readers_of(line) | self.mem.writers_of(line);
+            self.mem.doom_bitmap(peers, self.tid, line);
+            Ok(())
+        }
+    }
+
+    /// Generic atomic read-modify-write; returns the prior value.
+    fn rmw(&mut self, var: VarId, f: impl FnOnce(u64) -> u64) -> TxResult<u64> {
+        self.sim.advance(self.cfg.cost.rmw);
+        if self.txn.is_some() {
+            self.health_check()?;
+            let (elided, buffered) = {
+                let txn = self.txn.as_ref().expect("in txn");
+                (txn.is_elided(var), txn.wbuf.get(&var).copied())
+            };
+            let old = match buffered {
+                Some(v) => v,
+                None => {
+                    let line = self.mem.line_of(var);
+                    self.track_read(line)?;
+                    let v = self.mem.raw_load(var);
+                    self.health_check()?;
+                    v
+                }
+            };
+            if !elided {
+                let line = self.mem.line_of(var);
+                self.track_write(line)?;
+            }
+            self.txn.as_mut().expect("in txn").wbuf.insert(var, f(old));
+            Ok(old)
+        } else {
+            let _guard = self.mem.engine_lock();
+            let old = self.mem.raw_load(var);
+            self.mem.raw_store(var, f(old));
+            let line = self.mem.line_of(var);
+            let peers = self.mem.readers_of(line) | self.mem.writers_of(line);
+            self.mem.doom_bitmap(peers, self.tid, line);
+            Ok(old)
+        }
+    }
+
+    /// Compare-and-swap; returns the observed prior value (success iff it
+    /// equals `expected`).
+    ///
+    /// # Errors
+    ///
+    /// `Err(Abort)` if the enclosing transaction aborted.
+    pub fn cas(&mut self, var: VarId, expected: u64, new: u64) -> TxResult<u64> {
+        self.rmw(var, |old| if old == expected { new } else { old })
+    }
+
+    /// Atomic swap; returns the prior value.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Abort)` if the enclosing transaction aborted.
+    pub fn swap(&mut self, var: VarId, new: u64) -> TxResult<u64> {
+        self.rmw(var, |_| new)
+    }
+
+    /// Atomic fetch-add (wrapping); returns the prior value.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Abort)` if the enclosing transaction aborted.
+    pub fn fetch_add(&mut self, var: VarId, delta: u64) -> TxResult<u64> {
+        self.rmw(var, |old| old.wrapping_add(delta))
+    }
+
+    /// An elided (XACQUIRE) read-modify-write: the line enters the *read*
+    /// set only, the new value is a thread-local illusion, and commit will
+    /// verify the variable was restored to the value observed here.
+    /// Returns the observed (pre-illusion) value.
+    ///
+    /// This is how a lock is "taken without taking it": concurrent elided
+    /// acquisitions of the same lock do not conflict, while any real write
+    /// to the lock dooms every eliding transaction — the root cause of the
+    /// lemming effect.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Abort)` if the enclosing transaction aborted.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a transaction: the scheme must `begin()` first (our
+    /// simulated `XACQUIRE` does not itself start the transaction).
+    pub fn elide_rmw(&mut self, var: VarId, f: impl FnOnce(u64) -> u64) -> TxResult<u64> {
+        assert!(self.txn.is_some(), "elide_rmw outside a transaction");
+        self.sim.advance(self.cfg.cost.rmw);
+        self.health_check()?;
+        let buffered = self.txn.as_ref().expect("in txn").wbuf.get(&var).copied();
+        let old = match buffered {
+            Some(v) => v,
+            None => {
+                let line = self.mem.line_of(var);
+                self.track_read(line)?;
+                let v = self.mem.raw_load(var);
+                self.health_check()?;
+                v
+            }
+        };
+        let txn = self.txn.as_mut().expect("in txn");
+        if !txn.is_elided(var) {
+            txn.elided.push((var, old));
+        }
+        txn.wbuf.insert(var, f(old));
+        Ok(old)
+    }
+
+    /// Charge `units` of pure compute.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Abort)` if the enclosing transaction was doomed meanwhile.
+    pub fn work(&mut self, units: u64) -> TxResult<()> {
+        self.sim.advance(units.saturating_mul(self.cfg.cost.work_unit));
+        self.health_check()
+    }
+
+    /// Charge one busy-wait (PAUSE) iteration.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Abort)` if the enclosing transaction was doomed meanwhile.
+    pub fn spin(&mut self) -> TxResult<()> {
+        self.sim.advance(self.cfg.cost.spin);
+        self.health_check()
+    }
+
+    /// Busy-wait until `cond` holds over the given variable's value.
+    ///
+    /// Outside a transaction this loops indefinitely. Inside a transaction
+    /// the wait is bounded: after `max_txn_spins` iterations the
+    /// transaction aborts itself with [`codes::SPIN_EXPIRED`], modelling
+    /// the timer/interrupt aborts that terminate transactions stuck
+    /// waiting on real hardware.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Abort)` if the enclosing transaction aborts (conflict or spin
+    /// expiry).
+    pub fn spin_until(
+        &mut self,
+        var: VarId,
+        max_txn_spins: u32,
+        cond: impl Fn(u64) -> bool,
+    ) -> TxResult<()> {
+        let mut iters = 0u32;
+        loop {
+            let v = self.load(var)?;
+            if cond(v) {
+                return Ok(());
+            }
+            self.spin()?;
+            if self.txn.is_some() {
+                iters += 1;
+                if iters >= max_txn_spins {
+                    return Err(self.xabort(codes::SPIN_EXPIRED, true));
+                }
+            }
+        }
+    }
+}

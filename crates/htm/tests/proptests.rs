@@ -1,0 +1,159 @@
+//! Property-based tests of the HTM substrate.
+
+use elision_htm::{harness, HtmConfig, MemoryBuilder, VarId};
+use proptest::prelude::*;
+
+/// One step of a random single-threaded transactional program.
+#[derive(Debug, Clone)]
+enum Step {
+    Load(u8),
+    Store(u8, u64),
+    Cas(u8, u64, u64),
+    FetchAdd(u8, u64),
+    Swap(u8, u64),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        any::<u8>().prop_map(Step::Load),
+        (any::<u8>(), 0u64..100).prop_map(|(v, x)| Step::Store(v, x)),
+        (any::<u8>(), 0u64..100, 0u64..100).prop_map(|(v, e, n)| Step::Cas(v, e, n)),
+        (any::<u8>(), 1u64..10).prop_map(|(v, d)| Step::FetchAdd(v, d)),
+        (any::<u8>(), 0u64..100).prop_map(|(v, x)| Step::Swap(v, x)),
+    ]
+}
+
+const VARS: usize = 16;
+
+fn var(i: u8) -> VarId {
+    VarId::from_index((i as usize % VARS) as u32)
+}
+
+fn apply_model(model: &mut [u64; VARS], step: &Step) {
+    match *step {
+        Step::Load(_) => {}
+        Step::Store(v, x) => model[v as usize % VARS] = x,
+        Step::Cas(v, e, n) => {
+            let slot = &mut model[v as usize % VARS];
+            if *slot == e {
+                *slot = n;
+            }
+        }
+        Step::FetchAdd(v, d) => {
+            let slot = &mut model[v as usize % VARS];
+            *slot = slot.wrapping_add(d);
+        }
+        Step::Swap(v, x) => model[v as usize % VARS] = x,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A committed transaction's effects equal a sequential model's; an
+    /// aborted transaction's effects are invisible.
+    #[test]
+    fn committed_txns_match_model_aborted_txns_vanish(
+        steps in prop::collection::vec(step_strategy(), 1..40),
+        commit in any::<bool>(),
+    ) {
+        let mut b = MemoryBuilder::new().words_per_line(4);
+        b.alloc_array(VARS, 0);
+        let mem = b.freeze(1);
+        let steps2 = steps.clone();
+        let (_, mem, _) = harness::run(1, 0, HtmConfig::deterministic(), 1, mem, move |s| {
+            s.begin();
+            for st in &steps2 {
+                match *st {
+                    Step::Load(v) => { s.load(var(v)).unwrap(); }
+                    Step::Store(v, x) => s.store(var(v), x).unwrap(),
+                    Step::Cas(v, e, n) => { s.cas(var(v), e, n).unwrap(); }
+                    Step::FetchAdd(v, d) => { s.fetch_add(var(v), d).unwrap(); }
+                    Step::Swap(v, x) => { s.swap(var(v), x).unwrap(); }
+                }
+            }
+            if commit {
+                s.commit().unwrap();
+            } else {
+                let _ = s.xabort(1, false);
+            }
+        });
+        let mut model = [0u64; VARS];
+        if commit {
+            for st in &steps {
+                apply_model(&mut model, st);
+            }
+        }
+        for i in 0..VARS {
+            prop_assert_eq!(mem.read_direct(VarId::from_index(i as u32)), model[i]);
+        }
+        prop_assert!(!mem.any_residual_bits());
+    }
+
+    /// Transactional reads observe the transaction's own earlier writes
+    /// (read-your-writes) for arbitrary programs.
+    #[test]
+    fn read_your_writes(steps in prop::collection::vec(step_strategy(), 1..40)) {
+        let mut b = MemoryBuilder::new().words_per_line(4);
+        b.alloc_array(VARS, 0);
+        let mem = b.freeze(1);
+        let steps2 = steps.clone();
+        harness::run(1, 0, HtmConfig::deterministic(), 1, mem, move |s| {
+            let mut model = [0u64; VARS];
+            s.begin();
+            for st in &steps2 {
+                match *st {
+                    Step::Load(v) => {
+                        assert_eq!(s.load(var(v)).unwrap(), model[v as usize % VARS]);
+                    }
+                    Step::Store(v, x) => s.store(var(v), x).unwrap(),
+                    Step::Cas(v, e, n) => {
+                        let old = s.cas(var(v), e, n).unwrap();
+                        assert_eq!(old, model[v as usize % VARS]);
+                    }
+                    Step::FetchAdd(v, d) => {
+                        let old = s.fetch_add(var(v), d).unwrap();
+                        assert_eq!(old, model[v as usize % VARS]);
+                    }
+                    Step::Swap(v, x) => {
+                        let old = s.swap(var(v), x).unwrap();
+                        assert_eq!(old, model[v as usize % VARS]);
+                    }
+                }
+                apply_model(&mut model, st);
+            }
+            s.commit().unwrap();
+        });
+    }
+
+    /// Under any spurious-abort rate, a retry loop still completes every
+    /// operation exactly once (no lost or duplicated updates), and all
+    /// conflict bitmaps drain.
+    #[test]
+    fn retry_loops_survive_any_spurious_rate(
+        rate in 0.0f64..0.9,
+        per_access in 0.0f64..0.05,
+        threads in 1usize..5,
+    ) {
+        let mut b = MemoryBuilder::new();
+        let counter = b.alloc_isolated(0);
+        let mem = b.freeze(threads);
+        let cfg = HtmConfig::deterministic().with_spurious(rate, per_access);
+        let ops = 30u64;
+        let (_, mem, _) = harness::run(threads, 0, cfg, 11, mem, move |s| {
+            for _ in 0..ops {
+                loop {
+                    let r = s.attempt(|s| {
+                        let v = s.load(counter)?;
+                        s.store(counter, v + 1)
+                    });
+                    if r.is_ok() {
+                        break;
+                    }
+                }
+            }
+        });
+        prop_assert_eq!(mem.read_direct(counter), threads as u64 * ops);
+        prop_assert!(!mem.any_residual_bits());
+    }
+}

@@ -1,0 +1,73 @@
+//! Tests of the execution-trace facility wired through the HTM layer.
+
+use elision_htm::{harness, HtmConfig, MemoryBuilder};
+use elision_sim::TraceEvent;
+
+#[test]
+fn trace_records_txn_lifecycle() {
+    let mut b = MemoryBuilder::new();
+    let x = b.alloc_isolated(0);
+    let mem = b.freeze(1);
+    harness::run(1, 0, HtmConfig::deterministic(), 1, mem, move |s| {
+        s.enable_trace(64);
+        // One committed transaction.
+        s.begin();
+        s.store(x, 1).unwrap();
+        s.commit().unwrap();
+        // One explicit abort.
+        s.begin();
+        let _ = s.xabort(7, false);
+        let ring = s.trace.as_ref().expect("trace enabled");
+        let kinds: Vec<TraceEvent> = ring.events().map(|&(_, e)| e).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceEvent::TxnBegin,
+                TraceEvent::TxnCommit,
+                TraceEvent::TxnBegin,
+                TraceEvent::TxnAbort(3), // explicit
+            ]
+        );
+        // Timestamps are non-decreasing.
+        let times: Vec<u64> = ring.events().map(|&(t, _)| t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    });
+}
+
+#[test]
+fn trace_distinguishes_abort_causes() {
+    let mut b = MemoryBuilder::new().words_per_line(1);
+    let vars = b.alloc_array(8, 0);
+    let mem = b.freeze(1);
+    let cfg = HtmConfig::deterministic().with_capacity(64, 2);
+    harness::run(1, 0, cfg, 1, mem, move |s| {
+        s.enable_trace(64);
+        s.begin();
+        for k in 0.. {
+            if s.store(elision_htm::VarId::from_index(vars.index() + k), 1).is_err() {
+                break;
+            }
+        }
+        let ring = s.trace.as_ref().expect("trace enabled");
+        assert_eq!(ring.count(|e| matches!(e, TraceEvent::TxnAbort(2))), 1, "capacity code");
+    });
+}
+
+#[test]
+fn trace_is_bounded() {
+    let mut b = MemoryBuilder::new();
+    let x = b.alloc_isolated(0);
+    let mem = b.freeze(1);
+    harness::run(1, 0, HtmConfig::deterministic(), 1, mem, move |s| {
+        s.enable_trace(4);
+        for _ in 0..10 {
+            s.begin();
+            s.store(x, 1).unwrap();
+            s.commit().unwrap();
+        }
+        let ring = s.trace.as_ref().expect("trace enabled");
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 16);
+        assert!(!ring.dump().is_empty());
+    });
+}

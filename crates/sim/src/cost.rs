@@ -1,0 +1,96 @@
+//! The simulated cost model.
+//!
+//! All costs are in abstract cycles. The defaults are loosely calibrated to
+//! a Haswell-class core (cache-hit loads of a couple of cycles, tens of
+//! cycles for transaction begin/commit, an abort penalty of roughly a
+//! hundred cycles covering the pipeline flush plus fallback dispatch), but
+//! the experiments only depend on their *ratios*: critical sections must be
+//! long relative to single accesses and aborts must be expensive relative
+//! to commits.
+
+/// Cycle costs charged by the HTM / lock layers for each simulated event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// A (cache-hit) load.
+    pub load: u64,
+    /// A store.
+    pub store: u64,
+    /// An atomic read-modify-write (CAS, SWAP, fetch-add).
+    pub rmw: u64,
+    /// Starting a hardware transaction (`XBEGIN` / `XACQUIRE`).
+    pub txn_begin: u64,
+    /// Committing a hardware transaction (`XEND` / `XRELEASE`).
+    pub txn_commit: u64,
+    /// The penalty charged when a transaction aborts (rollback + restart
+    /// dispatch).
+    pub txn_abort: u64,
+    /// One busy-wait iteration (a `PAUSE`-style spin).
+    pub spin: u64,
+    /// One unit of pure compute issued via `Strand::work`.
+    pub work_unit: u64,
+}
+
+impl CostModel {
+    /// The default Haswell-flavoured cost model.
+    ///
+    /// Loads/stores model a pointer-chasing mix of L1/L2/L3 hits (~8
+    /// cycles), not pure L1 hits: critical sections that traverse linked
+    /// structures must be *long relative to the abort penalty*, or the
+    /// simulator exhibits an artifact real hardware does not — an aborted
+    /// thread's re-executed acquisition lands after the current holder
+    /// already released, acquiring the lock non-speculatively and
+    /// re-dooming everyone (a self-sustaining convoy). On hardware the
+    /// victim's re-executed test-and-set overlaps the holder's critical
+    /// section, returns "busy", and the thread re-enters speculation
+    /// (paper §4, TTAS analysis).
+    pub const fn haswell() -> Self {
+        CostModel {
+            load: 8,
+            store: 8,
+            rmw: 16,
+            txn_begin: 40,
+            txn_commit: 40,
+            txn_abort: 150,
+            spin: 16,
+            work_unit: 1,
+        }
+    }
+
+    /// A uniform model where every event costs one cycle; useful in tests
+    /// that reason about exact clock values.
+    pub const fn uniform() -> Self {
+        CostModel {
+            load: 1,
+            store: 1,
+            rmw: 1,
+            txn_begin: 1,
+            txn_commit: 1,
+            txn_abort: 1,
+            spin: 1,
+            work_unit: 1,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::haswell()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_haswell() {
+        assert_eq!(CostModel::default(), CostModel::haswell());
+    }
+
+    #[test]
+    fn aborts_cost_more_than_commits() {
+        let c = CostModel::default();
+        assert!(c.txn_abort > c.txn_commit);
+        assert!(c.txn_begin >= c.load);
+    }
+}

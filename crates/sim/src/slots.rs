@@ -1,0 +1,185 @@
+//! Time-slot statistics for the paper's Figure 3.
+//!
+//! Figure 3 divides an execution into 1 ms slots and plots, per slot, the
+//! throughput normalized to the whole-run average and the fraction of
+//! operations completing non-speculatively. Here "time" is simulated
+//! cycles, so a slot is a fixed number of cycles.
+
+/// Records completion events bucketed by logical-time slot.
+///
+/// One recorder per thread; merge them with [`SlotRecorder::merge`] after
+/// the run.
+#[derive(Debug, Clone)]
+pub struct SlotRecorder {
+    slot_cycles: u64,
+    completed: Vec<u64>,
+    nonspec: Vec<u64>,
+}
+
+impl SlotRecorder {
+    /// Create a recorder with the given slot width in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_cycles` is zero.
+    pub fn new(slot_cycles: u64) -> Self {
+        assert!(slot_cycles > 0, "slot width must be positive");
+        SlotRecorder { slot_cycles, completed: Vec::new(), nonspec: Vec::new() }
+    }
+
+    /// Slot width in cycles.
+    pub fn slot_cycles(&self) -> u64 {
+        self.slot_cycles
+    }
+
+    /// Record one completed operation at logical time `now`;
+    /// `nonspeculative` marks completions under the real lock.
+    pub fn record(&mut self, now: u64, nonspeculative: bool) {
+        let slot = (now / self.slot_cycles) as usize;
+        if slot >= self.completed.len() {
+            self.completed.resize(slot + 1, 0);
+            self.nonspec.resize(slot + 1, 0);
+        }
+        self.completed[slot] += 1;
+        if nonspeculative {
+            self.nonspec[slot] += 1;
+        }
+    }
+
+    /// Merge another recorder (same slot width) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot widths differ.
+    pub fn merge(&mut self, other: &SlotRecorder) {
+        assert_eq!(self.slot_cycles, other.slot_cycles, "slot widths must match");
+        if other.completed.len() > self.completed.len() {
+            self.completed.resize(other.completed.len(), 0);
+            self.nonspec.resize(other.nonspec.len(), 0);
+        }
+        for (i, (&c, &n)) in other.completed.iter().zip(&other.nonspec).enumerate() {
+            self.completed[i] += c;
+            self.nonspec[i] += n;
+        }
+    }
+
+    /// Finish recording and compute the per-slot series.
+    pub fn into_series(self) -> SlotSeries {
+        let total: u64 = self.completed.iter().sum();
+        let slots = self.completed.len().max(1) as f64;
+        let avg_per_slot = total as f64 / slots;
+        let normalized_throughput = self
+            .completed
+            .iter()
+            .map(|&c| if avg_per_slot > 0.0 { c as f64 / avg_per_slot } else { 0.0 })
+            .collect();
+        let frac_nonspec = self
+            .completed
+            .iter()
+            .zip(&self.nonspec)
+            .map(|(&c, &n)| if c > 0 { n as f64 / c as f64 } else { 0.0 })
+            .collect();
+        SlotSeries {
+            slot_cycles: self.slot_cycles,
+            completed: self.completed,
+            normalized_throughput,
+            frac_nonspec,
+        }
+    }
+}
+
+/// Per-slot series derived from a [`SlotRecorder`] (Figure 3's two panels).
+#[derive(Debug, Clone)]
+pub struct SlotSeries {
+    /// Slot width in cycles.
+    pub slot_cycles: u64,
+    /// Raw completions per slot.
+    pub completed: Vec<u64>,
+    /// Per-slot throughput normalized to the whole-run average (top panel).
+    pub normalized_throughput: Vec<f64>,
+    /// Per-slot fraction of non-speculative completions (bottom panel).
+    pub frac_nonspec: Vec<f64>,
+}
+
+impl SlotSeries {
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty()
+    }
+
+    /// The largest throughput drop relative to average (e.g. `2.5` means
+    /// the worst slot ran 2.5x below the run average), ignoring empty
+    /// trailing slots.
+    pub fn worst_slowdown(&self) -> f64 {
+        self.normalized_throughput
+            .iter()
+            .filter(|&&x| x > 0.0)
+            .fold(1.0f64, |acc, &x| acc.max(1.0 / x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_slot() {
+        let mut r = SlotRecorder::new(100);
+        r.record(5, false);
+        r.record(99, true);
+        r.record(100, false);
+        r.record(250, true);
+        let s = r.into_series();
+        assert_eq!(s.completed, vec![2, 1, 1]);
+        assert!((s.frac_nonspec[0] - 0.5).abs() < 1e-12);
+        assert_eq!(s.frac_nonspec[1], 0.0);
+        assert_eq!(s.frac_nonspec[2], 1.0);
+    }
+
+    #[test]
+    fn normalized_throughput_averages_to_one() {
+        let mut r = SlotRecorder::new(10);
+        for t in 0..100 {
+            r.record(t, false);
+        }
+        let s = r.into_series();
+        let mean: f64 = s.normalized_throughput.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = SlotRecorder::new(10);
+        let mut b = SlotRecorder::new(10);
+        a.record(5, true);
+        b.record(15, false);
+        b.record(5, false);
+        a.merge(&b);
+        let s = a.into_series();
+        assert_eq!(s.completed, vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot widths")]
+    fn merge_rejects_mismatched_widths() {
+        let mut a = SlotRecorder::new(10);
+        let b = SlotRecorder::new(20);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn worst_slowdown_detects_dips() {
+        let mut r = SlotRecorder::new(10);
+        // Three slots with 4, 4, 1 ops: average 3, worst slot 1 → 3x dip.
+        for t in [0, 1, 2, 3, 10, 11, 12, 13, 20] {
+            r.record(t, false);
+        }
+        let s = r.into_series();
+        assert!((s.worst_slowdown() - 3.0).abs() < 1e-9);
+    }
+}

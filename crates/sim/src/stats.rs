@@ -1,0 +1,150 @@
+//! Execution counters matching the paper's Section 4 definitions.
+//!
+//! For each run the paper measures, per completed operation:
+//!
+//! * `S` — operations that completed via a *successful speculative*
+//!   (transactional) execution,
+//! * `A` — *aborted* speculative attempts,
+//! * `N` — operations that completed via a *non-speculative* execution
+//!   (holding the real lock),
+//!
+//! from which it derives the fraction of non-speculative completions
+//! `N / (N + S)` and the average number of critical-section attempts per
+//! operation `(A + N + S) / (N + S)`. It also counts arrivals that found
+//! the lock held (the "TTAS Arrival with Lock Held" line in Figure 2).
+
+/// How a single critical-section attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttemptKind {
+    /// The attempt committed speculatively (counts toward `S`).
+    Speculative,
+    /// The attempt aborted (counts toward `A`).
+    Aborted,
+    /// The operation completed under the real lock (counts toward `N`).
+    NonSpeculative,
+}
+
+/// Per-thread operation counters (the paper's `S`, `A`, `N`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Successful speculative completions (`S`).
+    pub speculative: u64,
+    /// Aborted speculative attempts (`A`).
+    pub aborted: u64,
+    /// Non-speculative completions (`N`).
+    pub nonspeculative: u64,
+    /// Arrivals that observed the lock held before attempting elision.
+    pub arrived_lock_held: u64,
+}
+
+impl OpCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one attempt outcome.
+    pub fn record(&mut self, kind: AttemptKind) {
+        match kind {
+            AttemptKind::Speculative => self.speculative += 1,
+            AttemptKind::Aborted => self.aborted += 1,
+            AttemptKind::NonSpeculative => self.nonspeculative += 1,
+        }
+    }
+
+    /// Total completed operations (`S + N`).
+    pub fn completed(&self) -> u64 {
+        self.speculative + self.nonspeculative
+    }
+
+    /// The fraction of operations completing non-speculatively,
+    /// `N / (N + S)`; `0.0` when nothing completed.
+    pub fn frac_nonspeculative(&self) -> f64 {
+        let c = self.completed();
+        if c == 0 {
+            0.0
+        } else {
+            self.nonspeculative as f64 / c as f64
+        }
+    }
+
+    /// Average execution attempts per completed operation,
+    /// `(A + N + S) / (N + S)`; `0.0` when nothing completed.
+    pub fn attempts_per_op(&self) -> f64 {
+        let c = self.completed();
+        if c == 0 {
+            0.0
+        } else {
+            (self.aborted + c) as f64 / c as f64
+        }
+    }
+
+    /// Fraction of arrivals that found the lock already held, relative to
+    /// completed operations.
+    pub fn frac_arrived_lock_held(&self) -> f64 {
+        let c = self.completed();
+        if c == 0 {
+            0.0
+        } else {
+            self.arrived_lock_held as f64 / c as f64
+        }
+    }
+
+    /// Merge another counter set into this one (summing fields).
+    pub fn merge(&mut self, other: &OpCounters) {
+        self.speculative += other.speculative;
+        self.aborted += other.aborted;
+        self.nonspeculative += other.nonspeculative;
+        self.arrived_lock_held += other.arrived_lock_held;
+    }
+
+    /// Sum an iterator of counters.
+    pub fn sum<'a>(iter: impl IntoIterator<Item = &'a OpCounters>) -> OpCounters {
+        let mut acc = OpCounters::new();
+        for c in iter {
+            acc.merge(c);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics_match_paper_formulas() {
+        let mut c = OpCounters::new();
+        for _ in 0..70 {
+            c.record(AttemptKind::Speculative);
+        }
+        for _ in 0..30 {
+            c.record(AttemptKind::NonSpeculative);
+        }
+        for _ in 0..50 {
+            c.record(AttemptKind::Aborted);
+        }
+        assert_eq!(c.completed(), 100);
+        assert!((c.frac_nonspeculative() - 0.3).abs() < 1e-12);
+        assert!((c.attempts_per_op() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counters_do_not_divide_by_zero() {
+        let c = OpCounters::new();
+        assert_eq!(c.frac_nonspeculative(), 0.0);
+        assert_eq!(c.attempts_per_op(), 0.0);
+        assert_eq!(c.frac_arrived_lock_held(), 0.0);
+    }
+
+    #[test]
+    fn merge_and_sum() {
+        let mut a = OpCounters { speculative: 1, aborted: 2, nonspeculative: 3, arrived_lock_held: 4 };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.speculative, 2);
+        assert_eq!(a.arrived_lock_held, 8);
+        let total = OpCounters::sum([&a, &b]);
+        assert_eq!(total.nonspeculative, 9);
+    }
+}

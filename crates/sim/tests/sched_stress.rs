@@ -1,0 +1,117 @@
+//! Scheduler stress: liveness and clock correctness under adversarial
+//! shapes — early finishers, wildly uneven costs, maximum thread counts.
+
+use elision_sim::{SimBuilder, SimHandle};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn staggered_finishers_never_deadlock() {
+    // Threads finish at very different times; remaining threads must keep
+    // making progress past each departure.
+    let n = 12;
+    let out = SimBuilder::new(n).window(0).run(|ctx| {
+        let steps = (ctx.id as u64 + 1) * 200;
+        for _ in 0..steps {
+            ctx.handle.advance(1);
+        }
+        ctx.handle.now()
+    });
+    for (id, &end) in out.end_times.iter().enumerate() {
+        assert_eq!(end, (id as u64 + 1) * 200);
+    }
+}
+
+#[test]
+fn extreme_cost_imbalance() {
+    // One thread advances in huge strides, others in tiny ones; totals
+    // must still be exact and the run must finish.
+    let out = SimBuilder::new(4).window(8).run(|ctx| {
+        if ctx.id == 0 {
+            for _ in 0..50 {
+                ctx.handle.advance(10_000);
+            }
+        } else {
+            for _ in 0..5_000 {
+                ctx.handle.advance(1);
+            }
+        }
+        ctx.handle.now()
+    });
+    assert_eq!(out.results[0], 500_000);
+    for id in 1..4 {
+        assert_eq!(out.results[id], 5_000);
+    }
+    assert_eq!(out.makespan, 500_000);
+}
+
+#[test]
+fn many_threads_smoke() {
+    let n = 32;
+    let out = SimBuilder::new(n).window(16).run(|ctx| {
+        for _ in 0..300 {
+            ctx.handle.advance(2);
+        }
+        ctx.handle.now()
+    });
+    assert!(out.end_times.iter().all(|&t| t == 600));
+}
+
+#[test]
+fn handle_clones_share_the_clock() {
+    let out = SimBuilder::new(1).window(0).run(|ctx| {
+        let clone: SimHandle = ctx.handle.clone();
+        ctx.handle.advance(5);
+        clone.advance(7);
+        (ctx.handle.now(), clone.now())
+    });
+    assert_eq!(out.results[0], (12, 12));
+}
+
+#[test]
+fn zero_window_interleaves_at_fine_grain() {
+    // In strict mode with equal costs, threads must take turns at every
+    // step: the recorded interleaving must alternate rather than batch.
+    let n = 3;
+    let order: Arc<parking_lot::Mutex<Vec<usize>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    SimBuilder::new(n).window(0).run({
+        let order = Arc::clone(&order);
+        move |ctx| {
+            for _ in 0..50 {
+                ctx.handle.advance(1);
+                order.lock().push(ctx.id);
+            }
+        }
+    });
+    let order = order.lock();
+    // In any window of n consecutive events, all n threads appear.
+    for w in order.windows(n) {
+        let mut seen = [false; 3];
+        for &id in w {
+            seen[id] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "batched interleaving: {w:?}");
+    }
+}
+
+#[test]
+fn monitorable_progress_under_contention() {
+    // All threads hammer a host-side atomic while gated: the scheduler
+    // must not starve anyone (every thread completes its share).
+    let n = 8;
+    let total = Arc::new(AtomicU64::new(0));
+    let out = SimBuilder::new(n).window(4).run({
+        let total = Arc::clone(&total);
+        move |ctx| {
+            let mut mine = 0u64;
+            for _ in 0..500 {
+                ctx.handle.advance(3);
+                total.fetch_add(1, Ordering::Relaxed);
+                mine += 1;
+            }
+            mine
+        }
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 4_000);
+    assert!(out.results.iter().all(|&m| m == 500));
+}

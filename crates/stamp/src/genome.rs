@@ -1,0 +1,146 @@
+//! `genome` — gene sequencing.
+//!
+//! STAMP's genome runs three phases: deduplicate DNA segments in a shared
+//! hash set, match overlapping segments into links, and walk the links to
+//! assemble the sequence. The first two phases are short transactions
+//! over hash buckets with moderate contention; assembly is read-dominated
+//! walks. Here segments are 64-bit ids drawn (with duplicates) from a
+//! contiguous pool; phase 2 links each present id to its successor id and
+//! phase 3 walks maximal link chains ("contigs").
+
+use crate::runner::{Kernel, StampParams};
+use crate::util::{sim_barrier, strided};
+use elision_core::Scheme;
+use elision_htm::{Memory, MemoryBuilder, Strand, VarId};
+use elision_sim::DetRng;
+use elision_structures::HashTable;
+use std::collections::BTreeSet;
+
+pub(crate) struct Genome {
+    /// Input segments (thread-private reads; host-side like STAMP's
+    /// per-thread input buffers).
+    segments: Vec<u64>,
+    /// Distinct segment ids (reference for verification).
+    unique: BTreeSet<u64>,
+    /// Shared dedup set.
+    table: HashTable,
+    /// Shared successor links.
+    links: HashTable,
+    barrier: VarId,
+    /// Per-thread contig tally (own cache line each; written inside the
+    /// assembly transactions without cross-thread conflicts).
+    contigs: Vec<VarId>,
+    domain: u64,
+}
+
+impl Genome {
+    pub(crate) fn new(b: &mut MemoryBuilder, threads: usize, params: &StampParams) -> Self {
+        let (n_segments, domain) = if params.quick { (240, 96) } else { (1600, 512) };
+        let mut rng = DetRng::new(params.seed, 0xF00D);
+        let segments: Vec<u64> = (0..n_segments).map(|_| rng.below(domain)).collect();
+        let unique: BTreeSet<u64> = segments.iter().copied().collect();
+        let cap = domain as usize + 8;
+        Genome {
+            segments,
+            unique,
+            table: HashTable::new(b, (domain as usize / 4).max(8), cap, threads),
+            links: HashTable::new(b, (domain as usize / 4).max(8), cap, threads),
+            barrier: b.alloc_isolated(0),
+            contigs: (0..threads).map(|_| b.alloc_isolated(0)).collect(),
+            domain,
+        }
+    }
+
+    fn expected_links(&self) -> usize {
+        self.unique.iter().filter(|&&v| self.unique.contains(&(v + 1))).count()
+    }
+
+    /// Number of maximal runs of consecutive ids in the unique set — the
+    /// contigs phase 3 must assemble.
+    fn expected_contigs(&self) -> u64 {
+        self.unique.iter().filter(|&&v| v == 0 || !self.unique.contains(&(v - 1))).count() as u64
+    }
+}
+
+impl Kernel for Genome {
+    fn init(&self, mem: &Memory) {
+        self.table.init(mem);
+        self.links.init(mem);
+    }
+
+    fn run_thread(&self, s: &mut Strand, scheme: &Scheme, threads: usize) {
+        let tid = s.tid();
+        // Phase 1: deduplicate segments into the shared set.
+        for i in strided(self.segments.len(), tid, threads) {
+            let seg = self.segments[i];
+            s.work(4).expect("host-side segment parsing");
+            scheme.execute(s, |s| self.table.put(s, seg, 1));
+        }
+        sim_barrier(s, self.barrier, threads, 1);
+        // Phase 2: link each present segment to its successor.
+        for v in strided(self.domain as usize, tid, threads) {
+            let v = v as u64;
+            s.work(2).expect("host-side overlap scoring");
+            scheme.execute(s, |s| {
+                if self.table.get(s, v)?.is_some() && self.table.get(s, v + 1)?.is_some() {
+                    self.links.put(s, v, v + 1)?;
+                }
+                Ok(())
+            });
+        }
+        sim_barrier(s, self.barrier, threads, 2);
+        // Phase 3: assemble contigs — walk each maximal link chain from
+        // its start (read-dominated transactions).
+        let tally = self.contigs[tid];
+        for v in strided(self.domain as usize, tid, threads) {
+            let v = v as u64;
+            scheme.execute(s, |s| {
+                let is_start = self.table.get(s, v)?.is_some()
+                    && (v == 0 || self.table.get(s, v - 1)?.is_none());
+                if !is_start {
+                    return Ok(());
+                }
+                let mut cur = v;
+                while let Some(next) = self.links.get(s, cur)? {
+                    cur = next;
+                }
+                s.work(3)?; // emit the assembled contig
+                let n = s.load(tally)?;
+                s.store(tally, n + 1)
+            });
+        }
+    }
+
+    fn verify(&self, mem: &Memory) -> Result<(), String> {
+        let present: Vec<u64> = self.table.collect(mem).into_iter().map(|(k, _)| k).collect();
+        let expected: Vec<u64> = self.unique.iter().copied().collect();
+        if present != expected {
+            return Err(format!(
+                "dedup set has {} entries, expected {}",
+                present.len(),
+                expected.len()
+            ));
+        }
+        let links = self.links.collect(mem);
+        if links.len() != self.expected_links() {
+            return Err(format!(
+                "found {} links, expected {}",
+                links.len(),
+                self.expected_links()
+            ));
+        }
+        for (v, succ) in links {
+            if succ != v + 1 || !self.unique.contains(&v) || !self.unique.contains(&succ) {
+                return Err(format!("bogus link {v} -> {succ}"));
+            }
+        }
+        let contigs: u64 = self.contigs.iter().map(|&c| mem.read_direct(c)).sum();
+        if contigs != self.expected_contigs() {
+            return Err(format!(
+                "assembled {contigs} contigs, expected {}",
+                self.expected_contigs()
+            ));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,127 @@
+//! `intruder` — signature-based network intrusion detection.
+//!
+//! STAMP's intruder runs a three-stage pipeline per packet: capture (pop
+//! from a shared queue), reassembly (insert the fragment into a shared
+//! session map; when a flow completes, hand it to detection), and
+//! detection (thread-private). The capture and reassembly transactions
+//! are short but *every* thread contends on the queue heads, making this
+//! the high-contention STAMP workload.
+
+use crate::runner::{Kernel, StampParams};
+use elision_core::Scheme;
+use elision_htm::{Memory, MemoryBuilder, Strand};
+use elision_sim::DetRng;
+use elision_structures::{HashTable, SimQueue};
+
+/// Packet encoding: `flow << 16 | frag << 8 | nfrags`.
+fn encode(flow: u64, frag: u64, nfrags: u64) -> u64 {
+    flow << 16 | frag << 8 | nfrags
+}
+
+fn decode(pkt: u64) -> (u64, u64, u64) {
+    (pkt >> 16, (pkt >> 8) & 0xFF, pkt & 0xFF)
+}
+
+pub(crate) struct Intruder {
+    /// Pre-generated shuffled packet trace.
+    packets: Vec<u64>,
+    n_flows: usize,
+    input: SimQueue,
+    /// Per-flow received-fragment counters.
+    sessions: HashTable,
+    /// Completed flows, ready for detection.
+    done: SimQueue,
+}
+
+impl Intruder {
+    pub(crate) fn new(b: &mut MemoryBuilder, threads: usize, params: &StampParams) -> Self {
+        let n_flows = if params.quick { 48 } else { 320 };
+        let mut rng = DetRng::new(params.seed, 0x1D5);
+        let mut packets = Vec::new();
+        for flow in 0..n_flows as u64 {
+            let nfrags = 2 + rng.below(5);
+            for frag in 0..nfrags {
+                packets.push(encode(flow, frag, nfrags));
+            }
+        }
+        // Fisher-Yates shuffle: fragments arrive interleaved and out of
+        // order, as on a real link.
+        for i in (1..packets.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            packets.swap(i, j);
+        }
+        let cap = packets.len() + 8;
+        Intruder {
+            n_flows,
+            input: SimQueue::new(b, cap),
+            sessions: HashTable::new(b, (n_flows / 2).max(8), n_flows + 8, threads),
+            done: SimQueue::new(b, n_flows + 8),
+            packets,
+        }
+    }
+}
+
+impl Kernel for Intruder {
+    fn init(&self, mem: &Memory) {
+        self.sessions.init(mem);
+        self.input.fill_direct(mem, self.packets.iter().copied());
+    }
+
+    fn run_thread(&self, s: &mut Strand, scheme: &Scheme, _threads: usize) {
+        loop {
+            // Stage 1: capture.
+            let pkt = scheme.execute(s, |s| self.input.pop(s)).value;
+            let Some(pkt) = pkt else { break };
+            let (flow, _frag, nfrags) = decode(pkt);
+            // Per-packet decoding is thread-private compute (STAMP's
+            // decoder dominates the pipeline).
+            s.work(40).expect("packet decode");
+            // Stage 2: reassembly.
+            let completed = scheme
+                .execute(s, |s| {
+                    let seen = self.sessions.get(s, flow)?.unwrap_or(0) + 1;
+                    self.sessions.put(s, flow, seen)?;
+                    if seen == nfrags {
+                        self.done.push(s, flow)?;
+                        Ok(true)
+                    } else {
+                        Ok(false)
+                    }
+                })
+                .value;
+            // Stage 3: detection (thread-private signature matching).
+            if completed {
+                s.work(120).expect("detection is host-side work");
+            }
+        }
+    }
+
+    fn verify(&self, mem: &Memory) -> Result<(), String> {
+        if self.input.len_direct(mem) != 0 {
+            return Err(format!("{} packets left unprocessed", self.input.len_direct(mem)));
+        }
+        let done = self.done.len_direct(mem);
+        if done != self.n_flows as u64 {
+            return Err(format!("{done} flows completed, expected {}", self.n_flows));
+        }
+        // Every session counter must equal its flow's fragment count.
+        let sessions = self.sessions.collect(mem);
+        if sessions.len() != self.n_flows {
+            return Err(format!("{} sessions, expected {}", sessions.len(), self.n_flows));
+        }
+        let mut expected = vec![0u64; self.n_flows];
+        for &p in &self.packets {
+            let (flow, _, _) = decode(p);
+            expected[flow as usize] += 1;
+        }
+        for (flow, seen) in sessions {
+            if seen != expected[flow as usize] {
+                return Err(format!(
+                    "flow {flow} assembled {seen} fragments, expected {}",
+                    expected[flow as usize]
+                ));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,128 @@
+//! `kmeans` — partition-based clustering.
+//!
+//! STAMP's kmeans assigns points to their nearest centroid (pure
+//! computation plus reads of the centroid array) and then updates the
+//! chosen cluster's accumulator inside a transaction. The transaction is
+//! short — a handful of adds — and the contention level is set by the
+//! number of clusters: STAMP's "high" configuration uses few clusters
+//! (every thread hammers the same accumulators), "low" uses many.
+
+use crate::runner::{Kernel, StampParams};
+use crate::util::strided;
+use elision_core::Scheme;
+use elision_htm::{Memory, MemoryBuilder, Strand, VarId};
+use elision_sim::DetRng;
+
+/// Point dimensionality.
+const DIM: usize = 2;
+/// Coordinate range.
+const COORD: u64 = 1024;
+
+pub(crate) struct Kmeans {
+    /// Host-side input points (thread-private, as in STAMP).
+    points: Vec<[u64; DIM]>,
+    k: usize,
+    /// Initial centroid positions (read via plain loads during
+    /// assignment).
+    centroids: VarId,
+    /// Per-cluster accumulators: `k * (DIM sums + 1 count)`.
+    sums: VarId,
+}
+
+impl Kmeans {
+    pub(crate) fn new(b: &mut MemoryBuilder, _threads: usize, params: &StampParams, high: bool) -> Self {
+        let n_points = if params.quick { 320 } else { 2400 };
+        let k = if high { 6 } else { 24 };
+        let mut rng = DetRng::new(params.seed, if high { 0x4EA1 } else { 0x4EA2 });
+        let points: Vec<[u64; DIM]> =
+            (0..n_points).map(|_| std::array::from_fn(|_| rng.below(COORD))).collect();
+        b.pad_to_line();
+        let centroids = b.alloc_array(k * DIM, 0);
+        b.pad_to_line();
+        let sums = b.alloc_array(k * (DIM + 1), 0);
+        b.pad_to_line();
+        Kmeans { points, k, centroids, sums }
+    }
+
+    fn centroid_var(&self, c: usize, d: usize) -> VarId {
+        VarId::from_index(self.centroids.index() + (c * DIM + d) as u32)
+    }
+
+    fn sum_var(&self, c: usize, d: usize) -> VarId {
+        VarId::from_index(self.sums.index() + (c * (DIM + 1) + d) as u32)
+    }
+
+    fn count_var(&self, c: usize) -> VarId {
+        self.sum_var(c, DIM)
+    }
+}
+
+impl Kernel for Kmeans {
+    fn init(&self, mem: &Memory) {
+        // Spread initial centroids deterministically over the coordinate
+        // space.
+        for c in 0..self.k {
+            for d in 0..DIM {
+                let v = (c as u64 * 2 + d as u64 + 1) * COORD / (2 * self.k as u64 + DIM as u64);
+                mem.write_direct(self.centroid_var(c, d), v);
+            }
+        }
+    }
+
+    fn run_thread(&self, s: &mut Strand, scheme: &Scheme, threads: usize) {
+        let tid = s.tid();
+        for i in strided(self.points.len(), tid, threads) {
+            let p = self.points[i];
+            // Assignment: plain reads of the centroid array plus distance
+            // arithmetic (charged as work).
+            let mut best = 0usize;
+            let mut best_d = u64::MAX;
+            for c in 0..self.k {
+                let mut dist = 0u64;
+                for (d, &coord) in p.iter().enumerate() {
+                    let cv = s.load(self.centroid_var(c, d)).expect("plain centroid read");
+                    let delta = coord.abs_diff(cv);
+                    dist += delta * delta;
+                }
+                s.work(12).expect("distance computation");
+                if dist < best_d {
+                    best_d = dist;
+                    best = c;
+                }
+            }
+            // Update: the transactional accumulator bump.
+            scheme.execute(s, |s| {
+                for (d, &coord) in p.iter().enumerate() {
+                    let v = s.load(self.sum_var(best, d))?;
+                    s.store(self.sum_var(best, d), v + coord)?;
+                }
+                let n = s.load(self.count_var(best))?;
+                s.store(self.count_var(best), n + 1)
+            });
+        }
+    }
+
+    fn verify(&self, mem: &Memory) -> Result<(), String> {
+        let mut total_count = 0u64;
+        let mut total_sums = [0u64; DIM];
+        for c in 0..self.k {
+            total_count += mem.read_direct(self.count_var(c));
+            for (d, slot) in total_sums.iter_mut().enumerate() {
+                *slot += mem.read_direct(self.sum_var(c, d));
+            }
+        }
+        if total_count != self.points.len() as u64 {
+            return Err(format!(
+                "accumulated {total_count} points, expected {}",
+                self.points.len()
+            ));
+        }
+        for (d, &got) in total_sums.iter().enumerate() {
+            let expected: u64 = self.points.iter().map(|p| p[d]).sum();
+            if got != expected {
+                return Err(format!("dimension {d} sums to {got}, expected {expected}"));
+            }
+        }
+        Ok(())
+    }
+}

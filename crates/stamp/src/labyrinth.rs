@@ -1,0 +1,177 @@
+//! `labyrinth` — maze routing.
+//!
+//! STAMP's labyrinth routes point-to-point paths through a shared grid
+//! with Lee's algorithm: each transaction reads a large region of the
+//! grid (STAMP privatizes a full copy), computes a shortest path, and
+//! writes the path's cells. Transactions are the longest in the suite,
+//! with read sets that stress HTM capacity; conflicts occur when
+//! concurrently routed paths cross.
+
+use crate::runner::{Kernel, StampParams};
+use crate::util::strided;
+use elision_core::Scheme;
+use elision_htm::{Memory, MemoryBuilder, Strand, TxResult, VarId};
+use elision_sim::DetRng;
+use std::collections::VecDeque;
+
+const FREE: u64 = 0;
+
+pub(crate) struct Labyrinth {
+    width: usize,
+    height: usize,
+    /// Grid cells: 0 = free, otherwise the owning path id (1-based).
+    grid: VarId,
+    /// Routing requests `(src, dst)` as cell indices.
+    requests: Vec<(usize, usize)>,
+    /// Per-path result slot: 0 = unrouted/failed, else number of cells
+    /// the path claimed (written in the routing transaction itself).
+    routed: VarId,
+}
+
+impl Labyrinth {
+    pub(crate) fn new(b: &mut MemoryBuilder, _threads: usize, params: &StampParams) -> Self {
+        let (width, height, n_paths) = if params.quick { (24, 24, 12) } else { (48, 48, 40) };
+        let mut rng = DetRng::new(params.seed, 0x1AB);
+        let mut requests = Vec::with_capacity(n_paths);
+        for _ in 0..n_paths {
+            // Sources on the left edge, destinations on the right edge:
+            // paths span the grid and genuinely overlap.
+            let src = rng.below(height as u64) as usize * width;
+            let dst = rng.below(height as u64) as usize * width + (width - 1);
+            requests.push((src, dst));
+        }
+        b.pad_to_line();
+        let grid = b.alloc_array(width * height, FREE);
+        b.pad_to_line();
+        let routed = b.alloc_array(n_paths, 0);
+        b.pad_to_line();
+        Labyrinth { width, height, grid, requests, routed }
+    }
+
+    fn cell(&self, idx: usize) -> VarId {
+        VarId::from_index(self.grid.index() + idx as u32)
+    }
+
+    fn routed_var(&self, path: usize) -> VarId {
+        VarId::from_index(self.routed.index() + path as u32)
+    }
+
+    fn neighbors(&self, idx: usize) -> impl Iterator<Item = usize> {
+        let (w, h) = (self.width, self.height);
+        let (x, y) = (idx % w, idx / w);
+        let mut out = Vec::with_capacity(4);
+        if x > 0 {
+            out.push(idx - 1);
+        }
+        if x + 1 < w {
+            out.push(idx + 1);
+        }
+        if y > 0 {
+            out.push(idx - w);
+        }
+        if y + 1 < h {
+            out.push(idx + w);
+        }
+        out.into_iter()
+    }
+
+    /// Lee's algorithm over transactional reads: BFS from `src` to `dst`
+    /// through free cells, then claim the path. Returns the number of
+    /// cells claimed, or 0 if no route exists.
+    fn route(&self, s: &mut Strand, src: usize, dst: usize, id: u64) -> TxResult<u64> {
+        let mut prev = vec![usize::MAX; self.width * self.height];
+        let mut seen = vec![false; self.width * self.height];
+        let mut q = VecDeque::new();
+        // Endpoints may start occupied (by a previous path's terminal);
+        // STAMP treats that as unroutable.
+        if s.load(self.cell(src))? != FREE || s.load(self.cell(dst))? != FREE {
+            return Ok(0);
+        }
+        seen[src] = true;
+        q.push_back(src);
+        let mut found = false;
+        while let Some(c) = q.pop_front() {
+            if c == dst {
+                found = true;
+                break;
+            }
+            s.work(1)?; // expansion bookkeeping
+            for n in self.neighbors(c) {
+                if !seen[n] && s.load(self.cell(n))? == FREE {
+                    seen[n] = true;
+                    prev[n] = c;
+                    q.push_back(n);
+                }
+            }
+        }
+        if !found {
+            return Ok(0);
+        }
+        // Claim the path.
+        let mut len = 0u64;
+        let mut c = dst;
+        loop {
+            s.store(self.cell(c), id)?;
+            len += 1;
+            if c == src {
+                break;
+            }
+            c = prev[c];
+        }
+        Ok(len)
+    }
+}
+
+impl Kernel for Labyrinth {
+    fn init(&self, _mem: &Memory) {}
+
+    fn run_thread(&self, s: &mut Strand, scheme: &Scheme, threads: usize) {
+        let tid = s.tid();
+        for p in strided(self.requests.len(), tid, threads) {
+            let (src, dst) = self.requests[p];
+            let id = p as u64 + 1;
+            scheme.execute(s, |s| {
+                let len = self.route(s, src, dst, id)?;
+                s.store(self.routed_var(p), len)
+            });
+        }
+    }
+
+    fn verify(&self, mem: &Memory) -> Result<(), String> {
+        // Each claimed cell's path id must correspond to a routed request,
+        // and every routed request must own exactly the number of cells it
+        // recorded.
+        let mut owned = vec![0u64; self.requests.len() + 1];
+        for idx in 0..self.width * self.height {
+            let v = mem.read_direct(self.cell(idx));
+            if v != FREE {
+                if v as usize > self.requests.len() {
+                    return Err(format!("cell {idx} owned by bogus path {v}"));
+                }
+                owned[v as usize] += 1;
+            }
+        }
+        let mut routed_count = 0;
+        for (p, &(src, dst)) in self.requests.iter().enumerate() {
+            let len = mem.read_direct(self.routed_var(p));
+            if len != owned[p + 1] {
+                return Err(format!(
+                    "path {p} recorded {len} cells but owns {}",
+                    owned[p + 1]
+                ));
+            }
+            if len > 0 {
+                routed_count += 1;
+                for endpoint in [src, dst] {
+                    if mem.read_direct(self.cell(endpoint)) != p as u64 + 1 {
+                        return Err(format!("path {p} does not own its endpoint {endpoint}"));
+                    }
+                }
+            }
+        }
+        if routed_count == 0 {
+            return Err("no path routed at all".into());
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,103 @@
+//! `ssca2` — scalable synthetic compact applications, kernel 1.
+//!
+//! STAMP's ssca2 builds a large directed multigraph: each transaction
+//! appends one edge to a node's adjacency array. Transactions are tiny
+//! (three accesses) and contention is very low — two threads conflict
+//! only when inserting edges at the same source node simultaneously.
+
+use crate::runner::{Kernel, StampParams};
+use crate::util::strided;
+use elision_core::Scheme;
+use elision_htm::{Memory, MemoryBuilder, Strand, VarId};
+use elision_sim::DetRng;
+
+pub(crate) struct Ssca2 {
+    /// Edge list (host-side input, as in STAMP's generated tuples).
+    edges: Vec<(u64, u64)>,
+    n_nodes: usize,
+    max_degree: usize,
+    /// Per-node out-degree counters.
+    deg: VarId,
+    /// Flattened adjacency storage: node * max_degree + slot.
+    adj: VarId,
+}
+
+impl Ssca2 {
+    pub(crate) fn new(b: &mut MemoryBuilder, _threads: usize, params: &StampParams) -> Self {
+        let (n_nodes, n_edges, max_degree) = if params.quick { (64, 300, 12) } else { (256, 2400, 16) };
+        let mut rng = DetRng::new(params.seed, 0x55CA2);
+        // Cap per-node degree during generation so the arena never
+        // overflows.
+        let mut degree = vec![0usize; n_nodes];
+        let mut edges = Vec::with_capacity(n_edges);
+        while edges.len() < n_edges {
+            let u = rng.below(n_nodes as u64);
+            if degree[u as usize] >= max_degree {
+                continue;
+            }
+            degree[u as usize] += 1;
+            let v = rng.below(n_nodes as u64);
+            edges.push((u, v));
+        }
+        b.pad_to_line();
+        let deg = b.alloc_array(n_nodes, 0);
+        b.pad_to_line();
+        let adj = b.alloc_array(n_nodes * max_degree, u64::MAX);
+        b.pad_to_line();
+        Ssca2 { edges, n_nodes, max_degree, deg, adj }
+    }
+
+    fn deg_var(&self, node: u64) -> VarId {
+        VarId::from_index(self.deg.index() + node as u32)
+    }
+
+    fn adj_var(&self, node: u64, slot: u64) -> VarId {
+        VarId::from_index(self.adj.index() + (node as u32 * self.max_degree as u32) + slot as u32)
+    }
+}
+
+impl Kernel for Ssca2 {
+    fn init(&self, _mem: &Memory) {}
+
+    fn run_thread(&self, s: &mut Strand, scheme: &Scheme, threads: usize) {
+        let tid = s.tid();
+        for i in strided(self.edges.len(), tid, threads) {
+            let (u, v) = self.edges[i];
+            s.work(2).expect("host-side tuple decode");
+            scheme.execute(s, |s| {
+                let d = s.load(self.deg_var(u))?;
+                s.store(self.adj_var(u, d), v)?;
+                s.store(self.deg_var(u), d + 1)
+            });
+        }
+    }
+
+    fn verify(&self, mem: &Memory) -> Result<(), String> {
+        let mut total = 0u64;
+        for n in 0..self.n_nodes as u64 {
+            let d = mem.read_direct(self.deg_var(n));
+            if d > self.max_degree as u64 {
+                return Err(format!("node {n} overflowed its adjacency array ({d})"));
+            }
+            for slot in 0..d {
+                let v = mem.read_direct(self.adj_var(n, slot));
+                if v >= self.n_nodes as u64 {
+                    return Err(format!("node {n} slot {slot} holds bogus target {v}"));
+                }
+            }
+            total += d;
+        }
+        if total != self.edges.len() as u64 {
+            return Err(format!("inserted {total} edges, expected {}", self.edges.len()));
+        }
+        // Cross-check per-node degrees against the input.
+        for n in 0..self.n_nodes as u64 {
+            let expected = self.edges.iter().filter(|&&(u, _)| u == n).count() as u64;
+            let got = mem.read_direct(self.deg_var(n));
+            if got != expected {
+                return Err(format!("node {n} has degree {got}, expected {expected}"));
+            }
+        }
+        Ok(())
+    }
+}

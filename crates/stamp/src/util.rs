@@ -1,0 +1,26 @@
+//! Small shared utilities for the kernels.
+
+use elision_htm::{Strand, VarId};
+
+/// A sense-free counting barrier over a simulated word.
+///
+/// `phase` counts from 1; each thread increments the counter once per
+/// phase and spins (in logical time) until all `threads` arrivals of that
+/// phase are in.
+pub(crate) fn sim_barrier(s: &mut Strand, var: VarId, threads: usize, phase: u64) {
+    s.fetch_add(var, 1).expect("barrier increment is non-transactional");
+    let target = phase * threads as u64;
+    loop {
+        let v = s.load(var).expect("barrier read is non-transactional");
+        if v >= target {
+            return;
+        }
+        s.spin().expect("barrier spin is non-transactional");
+    }
+}
+
+/// Splits `total` items into a strided share for thread `tid` of
+/// `threads`: yields the item indices `tid, tid + threads, ...`.
+pub(crate) fn strided(total: usize, tid: usize, threads: usize) -> impl Iterator<Item = usize> {
+    (tid..total).step_by(threads.max(1))
+}

@@ -1,0 +1,159 @@
+//! `vacation` — an in-memory travel reservation system.
+//!
+//! STAMP's vacation runs client transactions against four tables (cars,
+//! flights, rooms, customers). Each reservation transaction performs
+//! several queries (table lookups) and then books the cheapest available
+//! resource, updating both the resource's availability and the customer's
+//! bill. The "high" configuration issues more queries per transaction
+//! over a smaller key range (longer transactions, more overlap) than
+//! "low".
+
+use crate::runner::{Kernel, StampParams};
+use elision_core::Scheme;
+use elision_htm::{Memory, MemoryBuilder, Strand, VarId};
+use elision_structures::HashTable;
+
+const N_TABLES: usize = 3; // cars, flights, rooms
+const INIT_AVAIL: u64 = 12;
+
+fn price(table: usize, resource: u64) -> u64 {
+    50 + (resource * 7 + table as u64 * 13) % 100
+}
+
+pub(crate) struct Vacation {
+    /// Resource tables: key -> remaining availability.
+    tables: [HashTable; N_TABLES],
+    /// Customer bills: customer -> accumulated price.
+    customers: HashTable,
+    /// Per-thread bookkeeping (each on its own line, transactional but
+    /// conflict-free): reservations made, price billed, availability
+    /// units added by update operations.
+    reserved: Vec<VarId>,
+    billed: Vec<VarId>,
+    added: Vec<VarId>,
+    resources: u64,
+    n_customers: u64,
+    queries: usize,
+    ops_per_thread: usize,
+}
+
+impl Vacation {
+    pub(crate) fn new(b: &mut MemoryBuilder, threads: usize, params: &StampParams, high: bool) -> Self {
+        let resources: u64 = if high { 48 } else { 192 };
+        let queries = if high { 6 } else { 2 };
+        let ops_per_thread = if params.quick { 60 } else { 350 };
+        let n_customers = 64;
+        let cap = resources as usize + 8;
+        let tables = std::array::from_fn(|_| {
+            HashTable::new(b, (resources as usize / 4).max(8), cap, threads)
+        });
+        let customers = HashTable::new(b, 16, n_customers as usize + 8, threads);
+        Vacation {
+            tables,
+            customers,
+            reserved: (0..threads).map(|_| b.alloc_isolated(0)).collect(),
+            billed: (0..threads).map(|_| b.alloc_isolated(0)).collect(),
+            added: (0..threads).map(|_| b.alloc_isolated(0)).collect(),
+            resources,
+            n_customers,
+            queries,
+            ops_per_thread,
+        }
+    }
+}
+
+impl Kernel for Vacation {
+    fn init(&self, mem: &Memory) {
+        for t in &self.tables {
+            t.init(mem);
+        }
+        self.customers.init(mem);
+        // Populate tables directly (pre-run): go through a throwaway
+        // free-list-compatible path by writing the collected layout via
+        // direct ops is fragile; instead run the put()s through direct
+        // writes is not possible for a chained table — so tables start
+        // empty and we record initial availability lazily: a missing key
+        // means INIT_AVAIL remaining.
+        let _ = mem;
+    }
+
+    fn run_thread(&self, s: &mut Strand, scheme: &Scheme, _threads: usize) {
+        let tid = s.tid();
+        for _ in 0..self.ops_per_thread {
+            let action = s.rng.below(100);
+            if action < 90 {
+                // Reservation: query `queries` random resources, book the
+                // cheapest available one for a random customer.
+                let customer = s.rng.below(self.n_customers);
+                let picks: Vec<(usize, u64)> = (0..self.queries)
+                    .map(|_| (s.rng.below(N_TABLES as u64) as usize, s.rng.below(self.resources)))
+                    .collect();
+                let reserved_var = self.reserved[tid];
+                let billed_var = self.billed[tid];
+                scheme.execute(s, |s| {
+                    let mut best: Option<(usize, u64, u64)> = None;
+                    for &(t, r) in &picks {
+                        let avail = self.tables[t].get(s, r)?.unwrap_or(INIT_AVAIL);
+                        if avail > 0 {
+                            let p = price(t, r);
+                            if best.map_or(true, |(_, _, bp)| p < bp) {
+                                best = Some((t, r, p));
+                            }
+                        }
+                    }
+                    if let Some((t, r, p)) = best {
+                        let avail = self.tables[t].get(s, r)?.unwrap_or(INIT_AVAIL);
+                        self.tables[t].put(s, r, avail - 1)?;
+                        let bill = self.customers.get(s, customer)?.unwrap_or(0);
+                        self.customers.put(s, customer, bill + p)?;
+                        let n = s.load(reserved_var)?;
+                        s.store(reserved_var, n + 1)?;
+                        let b = s.load(billed_var)?;
+                        s.store(billed_var, b + p)?;
+                    }
+                    Ok(())
+                });
+            } else {
+                // Management operation: restock a random resource.
+                let t = s.rng.below(N_TABLES as u64) as usize;
+                let r = s.rng.below(self.resources);
+                let added_var = self.added[tid];
+                scheme.execute(s, |s| {
+                    let avail = self.tables[t].get(s, r)?.unwrap_or(INIT_AVAIL);
+                    self.tables[t].put(s, r, avail + 1)?;
+                    let a = s.load(added_var)?;
+                    s.store(added_var, a + 1)
+                });
+            }
+            s.work(8).expect("client think time");
+        }
+    }
+
+    fn verify(&self, mem: &Memory) -> Result<(), String> {
+        let reserved: u64 = self.reserved.iter().map(|&v| mem.read_direct(v)).sum();
+        let billed: u64 = self.billed.iter().map(|&v| mem.read_direct(v)).sum();
+        let added: u64 = self.added.iter().map(|&v| mem.read_direct(v)).sum();
+        // Availability conservation: every explicitly stored entry
+        // deviates from INIT_AVAIL by (restocks - reservations) for that
+        // key; untouched keys are implicitly at INIT_AVAIL.
+        let mut delta_sum: i64 = 0;
+        for t in &self.tables {
+            for (_k, avail) in t.collect(mem) {
+                delta_sum += avail as i64 - INIT_AVAIL as i64;
+            }
+        }
+        let expected_delta = added as i64 - reserved as i64;
+        if delta_sum != expected_delta {
+            return Err(format!(
+                "availability delta {delta_sum} != restocks - reservations ({expected_delta})"
+            ));
+        }
+        // Billing conservation: customer bills must sum to the recorded
+        // total.
+        let bills: u64 = self.customers.collect(mem).into_iter().map(|(_, b)| b).sum();
+        if bills != billed {
+            return Err(format!("customer bills sum to {bills}, expected {billed}"));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,153 @@
+//! `yada` — "yet another Delaunay application" (mesh refinement).
+//!
+//! STAMP's yada repeatedly picks a "bad" triangle, computes its cavity
+//! (reading a neighborhood of elements) and retriangulates it (writing
+//! several elements), possibly creating new bad elements. Transactions
+//! are long, with medium read/write sets, and conflict when cavities
+//! overlap. This kernel models the same dynamics on a 2-D mesh of
+//! quality-tagged regions: refining a bad region fixes it and may degrade
+//! budget-limited neighbors, so the work pool shrinks to empty and the
+//! run terminates.
+
+use crate::runner::{Kernel, StampParams};
+use elision_core::Scheme;
+use elision_htm::{Memory, MemoryBuilder, Strand, TxResult, VarId};
+use elision_sim::DetRng;
+
+const GOOD: u64 = 0;
+const BAD: u64 = 1;
+
+pub(crate) struct Yada {
+    side: usize,
+    /// Per-region quality flag.
+    quality: VarId,
+    /// Per-region remaining degradation budget.
+    budget: VarId,
+    /// Count of currently bad regions (maintained transactionally).
+    bad_count: VarId,
+    initial_bad: Vec<usize>,
+}
+
+impl Yada {
+    pub(crate) fn new(b: &mut MemoryBuilder, _threads: usize, params: &StampParams) -> Self {
+        let (side, n_bad, _) = if params.quick { (16, 24, ()) } else { (32, 120, ()) };
+        let n = side * side;
+        let mut rng = DetRng::new(params.seed, 0xDADA);
+        let mut initial_bad: Vec<usize> = Vec::new();
+        while initial_bad.len() < n_bad {
+            let r = rng.below(n as u64) as usize;
+            if !initial_bad.contains(&r) {
+                initial_bad.push(r);
+            }
+        }
+        b.pad_to_line();
+        let quality = b.alloc_array(n, GOOD);
+        b.pad_to_line();
+        let budget = b.alloc_array(n, 0);
+        let bad_count = b.alloc_isolated(0);
+        Yada { side, quality, budget, bad_count, initial_bad }
+    }
+
+    fn q(&self, i: usize) -> VarId {
+        VarId::from_index(self.quality.index() + i as u32)
+    }
+
+    fn b(&self, i: usize) -> VarId {
+        VarId::from_index(self.budget.index() + i as u32)
+    }
+
+    fn neighbors(&self, i: usize) -> Vec<usize> {
+        let (w, n) = (self.side, self.side * self.side);
+        let mut out = Vec::with_capacity(4);
+        if i % w > 0 {
+            out.push(i - 1);
+        }
+        if i % w + 1 < w {
+            out.push(i + 1);
+        }
+        if i >= w {
+            out.push(i - w);
+        }
+        if i + w < n {
+            out.push(i + w);
+        }
+        out
+    }
+
+    /// One refinement transaction: scan for a bad region from `start`,
+    /// fix it, degrade budgeted neighbors. Returns whether a region was
+    /// refined.
+    fn refine(&self, s: &mut Strand, start: usize) -> TxResult<bool> {
+        let n = self.side * self.side;
+        // Cavity search: bounded wrap-around scan.
+        let mut found = None;
+        for k in 0..64.min(n) {
+            let i = (start + k) % n;
+            if s.load(self.q(i))? == BAD {
+                found = Some(i);
+                break;
+            }
+        }
+        let Some(i) = found else { return Ok(false) };
+        // Retriangulate: fix the region...
+        s.store(self.q(i), GOOD)?;
+        let mut delta: i64 = -1;
+        s.work(12)?; // geometric computation
+        // ...and degrade budget-carrying neighbors (new skinny triangles).
+        for nb in self.neighbors(i) {
+            let budget = s.load(self.b(nb))?;
+            if budget > 0 && s.load(self.q(nb))? == GOOD {
+                s.store(self.b(nb), budget - 1)?;
+                s.store(self.q(nb), BAD)?;
+                delta += 1;
+            }
+        }
+        let c = s.load(self.bad_count)?;
+        s.store(self.bad_count, (c as i64 + delta) as u64)?;
+        Ok(true)
+    }
+}
+
+impl Kernel for Yada {
+    fn init(&self, mem: &Memory) {
+        for &r in &self.initial_bad {
+            mem.write_direct(self.q(r), BAD);
+        }
+        // Budgets let a refinement cascade a couple of steps before the
+        // pool provably drains.
+        let n = self.side * self.side;
+        for i in 0..n {
+            mem.write_direct(self.b(i), if i % 3 == 0 { 1 } else { 0 });
+        }
+        mem.write_direct(self.bad_count, self.initial_bad.len() as u64);
+    }
+
+    fn run_thread(&self, s: &mut Strand, scheme: &Scheme, _threads: usize) {
+        let n = self.side * self.side;
+        loop {
+            // Work remaining? (plain read between transactions)
+            let remaining = s.load(self.bad_count).expect("plain read");
+            if remaining == 0 {
+                break;
+            }
+            let start = s.rng.below(n as u64) as usize;
+            scheme.execute(s, |s| self.refine(s, start));
+        }
+    }
+
+    fn verify(&self, mem: &Memory) -> Result<(), String> {
+        if mem.read_direct(self.bad_count) != 0 {
+            return Err(format!(
+                "bad count is {}, expected 0",
+                mem.read_direct(self.bad_count)
+            ));
+        }
+        let n = self.side * self.side;
+        for i in 0..n {
+            if mem.read_direct(self.q(i)) == BAD {
+                return Err(format!("region {i} is still bad"));
+            }
+        }
+        Ok(())
+    }
+}

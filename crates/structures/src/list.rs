@@ -1,0 +1,171 @@
+//! A transactional sorted singly-linked list. Linear-time operations make
+//! its critical sections long and heavily overlapping — a stress case for
+//! elision schemes (every writer conflicts with every reader that passed
+//! the same prefix).
+
+use elision_htm::{Memory, MemoryBuilder, Strand, TxResult, VarId};
+
+const KEY: u32 = 0;
+const NEXT: u32 = 1;
+const STRIDE: u32 = 2;
+
+const NONE: u64 = u64::MAX;
+
+/// A sorted (ascending, unique keys) singly-linked list of `u64` keys.
+#[derive(Debug, Clone)]
+pub struct SortedList {
+    head: VarId,
+    free: Vec<VarId>,
+    base: u32,
+    cap: usize,
+}
+
+impl SortedList {
+    /// Allocate a list arena for `capacity` keys, free-lists partitioned
+    /// across `threads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `threads` is zero.
+    pub fn new(b: &mut MemoryBuilder, capacity: usize, threads: usize) -> Self {
+        assert!(capacity > 0 && threads > 0);
+        let head = b.alloc_isolated(NONE);
+        b.pad_to_line();
+        let base = b.len() as u32;
+        b.alloc_array(capacity * STRIDE as usize, 0);
+        let free: Vec<VarId> = (0..threads).map(|_| b.alloc_isolated(NONE)).collect();
+        SortedList { head, free, base, cap: capacity }
+    }
+
+    /// Chain the free lists; call once after freezing, before use.
+    pub fn init(&self, mem: &Memory) {
+        let threads = self.free.len();
+        let mut heads = vec![NONE; threads];
+        for n in (0..self.cap as u64).rev() {
+            let pool = (n as usize) % threads;
+            mem.write_direct(self.field(n, NEXT), heads[pool]);
+            heads[pool] = n;
+        }
+        for (t, &h) in heads.iter().enumerate() {
+            mem.write_direct(self.free[t], h);
+        }
+    }
+
+    fn field(&self, node: u64, f: u32) -> VarId {
+        VarId::from_index(self.base + node as u32 * STRIDE + f)
+    }
+
+    fn alloc_node(&self, s: &mut Strand, key: u64) -> TxResult<u64> {
+        let me = s.tid() % self.free.len();
+        let pools = self.free.len();
+        for k in 0..pools {
+            let pool = self.free[(me + k) % pools];
+            let head = s.load(pool)?;
+            if head == NONE {
+                continue;
+            }
+            let next = s.load(self.field(head, NEXT))?;
+            s.store(pool, next)?;
+            s.store(self.field(head, KEY), key)?;
+            s.store(self.field(head, NEXT), NONE)?;
+            return Ok(head);
+        }
+        panic!("sorted-list arena exhausted (capacity {})", self.cap);
+    }
+
+    fn free_node(&self, s: &mut Strand, node: u64) -> TxResult<()> {
+        let pool = self.free[s.tid() % self.free.len()];
+        let head = s.load(pool)?;
+        s.store(self.field(node, NEXT), head)?;
+        s.store(pool, node)
+    }
+
+    /// Whether `key` is present.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Abort)` if the enclosing transaction aborted.
+    pub fn contains(&self, s: &mut Strand, key: u64) -> TxResult<bool> {
+        let mut n = s.load(self.head)?;
+        while n != NONE {
+            let k = s.load(self.field(n, KEY))?;
+            if k == key {
+                return Ok(true);
+            }
+            if k > key {
+                return Ok(false);
+            }
+            n = s.load(self.field(n, NEXT))?;
+        }
+        Ok(false)
+    }
+
+    /// Insert `key`; returns `false` if already present.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Abort)` if the enclosing transaction aborted.
+    pub fn insert(&self, s: &mut Strand, key: u64) -> TxResult<bool> {
+        let mut prev = NONE;
+        let mut n = s.load(self.head)?;
+        while n != NONE {
+            let k = s.load(self.field(n, KEY))?;
+            if k == key {
+                return Ok(false);
+            }
+            if k > key {
+                break;
+            }
+            prev = n;
+            n = s.load(self.field(n, NEXT))?;
+        }
+        let node = self.alloc_node(s, key)?;
+        s.store(self.field(node, NEXT), n)?;
+        if prev == NONE {
+            s.store(self.head, node)?;
+        } else {
+            s.store(self.field(prev, NEXT), node)?;
+        }
+        Ok(true)
+    }
+
+    /// Remove `key`; returns `false` if absent.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Abort)` if the enclosing transaction aborted.
+    pub fn remove(&self, s: &mut Strand, key: u64) -> TxResult<bool> {
+        let mut prev = NONE;
+        let mut n = s.load(self.head)?;
+        while n != NONE {
+            let k = s.load(self.field(n, KEY))?;
+            if k == key {
+                let next = s.load(self.field(n, NEXT))?;
+                if prev == NONE {
+                    s.store(self.head, next)?;
+                } else {
+                    s.store(self.field(prev, NEXT), next)?;
+                }
+                self.free_node(s, n)?;
+                return Ok(true);
+            }
+            if k > key {
+                return Ok(false);
+            }
+            prev = n;
+            n = s.load(self.field(n, NEXT))?;
+        }
+        Ok(false)
+    }
+
+    /// Collect all keys in order via direct reads (quiescent only).
+    pub fn collect(&self, mem: &Memory) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut n = mem.read_direct(self.head);
+        while n != NONE {
+            out.push(mem.read_direct(self.field(n, KEY)));
+            n = mem.read_direct(self.field(n, NEXT));
+        }
+        out
+    }
+}

@@ -1,0 +1,115 @@
+//! The paper's data-structure workload definitions (§4): a key domain of
+//! twice the target size, an operation mix with equal insert/delete rates
+//! (so the structure's size is stable in expectation), and three named
+//! contention levels.
+
+use elision_sim::DetRng;
+
+/// One structure operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeOp {
+    /// Insert a key.
+    Insert,
+    /// Delete a key.
+    Delete,
+    /// Look a key up.
+    Lookup,
+}
+
+/// An operation mix (percentages; the remainder are lookups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Percent of operations that insert.
+    pub insert_pct: u8,
+    /// Percent of operations that delete.
+    pub delete_pct: u8,
+}
+
+impl OpMix {
+    /// "No contention": lookups only (paper Figure 4 left).
+    pub const LOOKUP_ONLY: OpMix = OpMix { insert_pct: 0, delete_pct: 0 };
+    /// "Moderate contention": 10% insert, 10% delete, 80% lookups.
+    pub const MODERATE: OpMix = OpMix { insert_pct: 10, delete_pct: 10 };
+    /// "Extensive contention": 50% insert, 50% delete.
+    pub const EXTENSIVE: OpMix = OpMix { insert_pct: 50, delete_pct: 50 };
+
+    /// The paper's three contention levels with their figure captions.
+    pub const LEVELS: [(&'static str, OpMix); 3] = [
+        ("Lookups-Only", OpMix::LOOKUP_ONLY),
+        ("10% insertion 10% deletion 80% lookups", OpMix::MODERATE),
+        ("50% insertion 50% deletion", OpMix::EXTENSIVE),
+    ];
+
+    /// Draw the next operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the percentages sum past 100.
+    pub fn draw(&self, rng: &mut DetRng) -> TreeOp {
+        let total = self.insert_pct as u64 + self.delete_pct as u64;
+        assert!(total <= 100, "op mix exceeds 100%");
+        let roll = rng.below(100);
+        if roll < self.insert_pct as u64 {
+            TreeOp::Insert
+        } else if roll < total {
+            TreeOp::Delete
+        } else {
+            TreeOp::Lookup
+        }
+    }
+
+    /// Fraction of mutating operations.
+    pub fn update_fraction(&self) -> f64 {
+        (self.insert_pct + self.delete_pct) as f64 / 100.0
+    }
+}
+
+/// The paper's key-domain rule: keys are drawn uniformly from `[0, 2s)`
+/// for a structure of target size `s`.
+pub fn key_domain(size: usize) -> u64 {
+    (size as u64).saturating_mul(2).max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_draws_respect_percentages() {
+        let mut rng = DetRng::new(1, 0);
+        let mix = OpMix::MODERATE;
+        let mut counts = [0u64; 3];
+        for _ in 0..20_000 {
+            match mix.draw(&mut rng) {
+                TreeOp::Insert => counts[0] += 1,
+                TreeOp::Delete => counts[1] += 1,
+                TreeOp::Lookup => counts[2] += 1,
+            }
+        }
+        let frac = |c: u64| c as f64 / 20_000.0;
+        assert!((frac(counts[0]) - 0.10).abs() < 0.02);
+        assert!((frac(counts[1]) - 0.10).abs() < 0.02);
+        assert!((frac(counts[2]) - 0.80).abs() < 0.02);
+    }
+
+    #[test]
+    fn lookup_only_never_mutates() {
+        let mut rng = DetRng::new(2, 0);
+        for _ in 0..1000 {
+            assert_eq!(OpMix::LOOKUP_ONLY.draw(&mut rng), TreeOp::Lookup);
+        }
+    }
+
+    #[test]
+    fn domain_is_twice_size() {
+        assert_eq!(key_domain(128), 256);
+        assert_eq!(key_domain(1), 2);
+        assert_eq!(key_domain(0), 2);
+    }
+
+    #[test]
+    fn update_fraction() {
+        assert_eq!(OpMix::EXTENSIVE.update_fraction(), 1.0);
+        assert_eq!(OpMix::LOOKUP_ONLY.update_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Anatomy of an abort storm: use the execution-trace facility to watch
+//! one thread's transactions live through a lemming episode, and the
+//! abort-status register to classify what killed each attempt.
+//!
+//! ```text
+//! cargo run --release -p elision-bench --example abort_anatomy
+//! ```
+
+use elision_core::{make_scheme, LockKind, SchemeConfig, SchemeKind};
+use elision_htm::{harness, HtmConfig, MemoryBuilder};
+use elision_sim::TraceEvent;
+use elision_structures::{key_domain, OpMix, RbTree, TreeOp};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const TREE_SIZE: usize = 32;
+
+fn main() {
+    let domain = key_domain(TREE_SIZE);
+    let mut b = MemoryBuilder::new();
+    let tree = RbTree::new(&mut b, domain as usize + 64, THREADS);
+    let scheme = make_scheme(SchemeKind::Hle, LockKind::Mcs, SchemeConfig::paper(), &mut b, THREADS);
+    let mem = Arc::new(b.freeze(THREADS));
+    tree.init(&mem);
+    {
+        let fill = tree.clone();
+        harness::run_arc(1, 0, HtmConfig::deterministic(), 7, Arc::clone(&mem), move |s| {
+            let mut n = 0;
+            while n < TREE_SIZE {
+                let key = s.rng.below(domain);
+                if fill.insert(s, key).expect("fill") {
+                    n += 1;
+                }
+            }
+        });
+        tree.rebalance_freelists(&mem);
+    }
+
+    let tree2 = tree.clone();
+    let (results, _) = harness::run_arc(THREADS, 16, HtmConfig::haswell(), 42, mem, move |s| {
+        // Record the first 40 transaction events of thread 0.
+        if s.tid() == 0 {
+            s.enable_trace(40);
+        }
+        for _ in 0..150 {
+            let op = OpMix::MODERATE.draw(&mut s.rng);
+            let key = s.rng.below(domain);
+            scheme.execute(s, |s| match op {
+                TreeOp::Insert => tree2.insert(s, key).map(|_| ()),
+                TreeOp::Delete => tree2.remove(s, key).map(|_| ()),
+                TreeOp::Lookup => tree2.contains(s, key).map(|_| ()),
+            });
+        }
+        (s.trace.take(), s.stats)
+    });
+
+    let (trace, _) = &results[0];
+    let trace = trace.as_ref().expect("thread 0 traced");
+    println!("--- first transaction events of thread 0 (HLE over MCS) ---");
+    print!("{}", trace.dump());
+    let aborts = trace.count(|e| matches!(e, TraceEvent::TxnAbort(_)));
+    let commits = trace.count(|e| matches!(e, TraceEvent::TxnCommit));
+    println!("\ntraced: {commits} commits, {aborts} aborts");
+
+    println!("\n--- abort causes, all threads ---");
+    println!("{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}", "thread", "conflict", "capacity", "explicit", "spurious", "restore");
+    for (tid, (_, st)) in results.iter().enumerate() {
+        println!(
+            "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            tid, st.aborts_conflict, st.aborts_capacity, st.aborts_explicit, st.aborts_spurious, st.aborts_restore
+        );
+    }
+    println!(
+        "\nReading the trace: under the MCS lemming effect nearly every begin is \
+         followed by an explicit abort (code 3 — the arriving thread saw the \
+         queue non-empty) and the operation completes under the real lock."
+    );
+}

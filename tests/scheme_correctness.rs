@@ -1,0 +1,167 @@
+//! Cross-crate correctness: every scheme must preserve atomicity and
+//! structure invariants on every lock family, under lag windows, abort
+//! storms and mixed structures — the safety net under all performance
+//! claims.
+
+use elision_core::{make_scheme, LockKind, SchemeConfig, SchemeKind};
+use elision_htm::{harness, HtmConfig, MemoryBuilder};
+use elision_structures::{HashTable, RbTree, SimQueue};
+use std::sync::Arc;
+
+const SCHEMES: [SchemeKind; 6] = [
+    SchemeKind::Standard,
+    SchemeKind::Hle,
+    SchemeKind::HleRetries,
+    SchemeKind::HleScm,
+    SchemeKind::OptSlr,
+    SchemeKind::SlrScm,
+];
+
+const LOCKS: [LockKind; 4] = [LockKind::Ttas, LockKind::Mcs, LockKind::Ticket, LockKind::Clh];
+
+/// A mixed critical section moving items between a tree, a table and a
+/// queue: an item is "minted" into the tree, later migrated tree→table,
+/// then table→queue, then consumed. Conservation: minted == in-tree +
+/// in-table + in-queue + consumed.
+fn mixed_structures_run(scheme_kind: SchemeKind, lock: LockKind, window: u64, htm: HtmConfig) {
+    let threads = 4;
+    let ops = 120u64;
+    let mut b = MemoryBuilder::new();
+    let tree = RbTree::new(&mut b, 4096, threads);
+    let table = HashTable::new(&mut b, 64, 4096, threads);
+    let queue = SimQueue::new(&mut b, 4096);
+    let consumed = b.alloc_isolated(0);
+    let minted = b.alloc_isolated(0);
+    let scheme = make_scheme(scheme_kind, lock, SchemeConfig::paper(), &mut b, threads);
+    let mem = Arc::new(b.freeze(threads));
+    tree.init(&mem);
+    table.init(&mem);
+
+    let t = tree.clone();
+    let tab = table.clone();
+    let q = queue.clone();
+    let (_, _) = harness::run_arc(threads, window, htm, 77, Arc::clone(&mem), move |s| {
+        for i in 0..ops {
+            let kind = s.rng.below(4);
+            let key = (s.tid() as u64) << 32 | i; // unique keys per thread
+            let migrate_key = s.rng.below(2) << 32 | s.rng.below(ops);
+            scheme.execute(s, |s| {
+                match kind {
+                    0 => {
+                        // Mint a fresh item into the tree.
+                        if t.insert(s, key)? {
+                            let m = s.load(minted)?;
+                            s.store(minted, m + 1)?;
+                        }
+                    }
+                    1 => {
+                        // Migrate tree -> table.
+                        if t.remove(s, migrate_key)? {
+                            let dup = tab.put(s, migrate_key, 1)?;
+                            assert!(dup.is_none(), "item duplicated during migration");
+                        }
+                    }
+                    2 => {
+                        // Migrate table -> queue.
+                        if tab.remove(s, migrate_key)?.is_some() {
+                            let ok = q.push(s, migrate_key)?;
+                            assert!(ok, "queue overflow");
+                        }
+                    }
+                    _ => {
+                        // Consume from the queue.
+                        if q.pop(s)?.is_some() {
+                            let c = s.load(consumed)?;
+                            s.store(consumed, c + 1)?;
+                        }
+                    }
+                }
+                Ok(())
+            });
+        }
+    });
+
+    let in_tree = tree.validate(&mem).unwrap_or_else(|e| panic!("{scheme_kind}/{lock}: {e}"));
+    let in_table = table.collect(&mem).len() as u64;
+    let in_queue = queue.len_direct(&mem);
+    let total = in_tree as u64 + in_table + in_queue + mem.read_direct(consumed);
+    assert_eq!(
+        total,
+        mem.read_direct(minted),
+        "{scheme_kind}/{lock}: items leaked or duplicated"
+    );
+}
+
+#[test]
+fn mixed_structures_all_schemes_ttas_mcs() {
+    for scheme in SCHEMES {
+        for lock in [LockKind::Ttas, LockKind::Mcs] {
+            mixed_structures_run(scheme, lock, 0, HtmConfig::deterministic());
+        }
+    }
+}
+
+#[test]
+fn mixed_structures_adapted_fair_locks() {
+    for lock in [LockKind::Ticket, LockKind::Clh] {
+        for scheme in [SchemeKind::Hle, SchemeKind::HleScm, SchemeKind::SlrScm] {
+            mixed_structures_run(scheme, lock, 0, HtmConfig::deterministic());
+        }
+    }
+}
+
+#[test]
+fn mixed_structures_with_lag_window() {
+    for scheme in [SchemeKind::Hle, SchemeKind::HleScm, SchemeKind::OptSlr] {
+        mixed_structures_run(scheme, LockKind::Ttas, 32, HtmConfig::deterministic());
+    }
+}
+
+#[test]
+fn mixed_structures_under_spurious_storm() {
+    let storm = HtmConfig::deterministic().with_spurious(0.3, 0.002);
+    for scheme in [SchemeKind::Hle, SchemeKind::HleScm, SchemeKind::OptSlr, SchemeKind::SlrScm] {
+        mixed_structures_run(scheme, LockKind::Mcs, 0, storm);
+    }
+}
+
+#[test]
+fn mixed_structures_under_tight_capacity() {
+    // Write sets larger than 12 lines abort: long operations must fall
+    // back to the lock and still be atomic.
+    let tight = HtmConfig::deterministic().with_capacity(256, 12);
+    for scheme in [SchemeKind::Hle, SchemeKind::OptSlr, SchemeKind::SlrScm] {
+        mixed_structures_run(scheme, LockKind::Ttas, 0, tight);
+    }
+}
+
+/// Progress under a pathological all-conflict workload: every operation
+/// writes the same word; nothing may livelock or starve.
+#[test]
+fn all_conflict_progress() {
+    for scheme in SCHEMES {
+        for lock in LOCKS {
+            let threads = 6;
+            let ops = 60u64;
+            let mut b = MemoryBuilder::new();
+            let hot = b.alloc_isolated(0);
+            let s = make_scheme(scheme, lock, SchemeConfig::paper(), &mut b, threads);
+            let mem = b.freeze(threads);
+            let (_, mem, _) =
+                harness::run(threads, 0, HtmConfig::deterministic(), 3, mem, move |st| {
+                    for _ in 0..ops {
+                        s.execute(st, |st| {
+                            let v = st.load(hot)?;
+                            st.work(3)?;
+                            st.store(hot, v + 1)
+                        });
+                    }
+                });
+            assert_eq!(
+                mem.read_direct(hot),
+                threads as u64 * ops,
+                "{scheme}/{lock}: lost updates under full contention"
+            );
+        }
+    }
+}
