@@ -25,7 +25,10 @@ fn run(scheme_kind: SchemeKind, fine_grained: bool, threads: usize, ops: u64) ->
     let schemes: Vec<Arc<Scheme>> = (0..n_locks)
         .map(|_| {
             let main = make_lock(LockKind::Ttas, &mut b, threads);
-            Arc::new(Scheme::new(scheme_kind, SchemeConfig::paper(), main, None))
+            Arc::new(
+                Scheme::new(scheme_kind, SchemeConfig::paper(), main, None)
+                    .expect("non-SCM scheme needs no aux"),
+            )
         })
         .collect();
     let mem = b.freeze(threads);
@@ -55,12 +58,8 @@ fn main() {
     println!("== Ablation: coarse- vs fine-grained locking under elision ==");
     println!("{} threads, {SHARDS} shards; HLE speedup over standard locking\n", args.threads);
 
-    let mut table = Table::new(&[
-        "granularity",
-        "standard (ops/kcycle)",
-        "HLE (ops/kcycle)",
-        "HLE speedup",
-    ]);
+    let mut table =
+        Table::new(&["granularity", "standard (ops/kcycle)", "HLE (ops/kcycle)", "HLE speedup"]);
     for fine in [false, true] {
         let std = run(SchemeKind::Standard, fine, args.threads, ops);
         let hle = run(SchemeKind::Hle, fine, args.threads, ops);

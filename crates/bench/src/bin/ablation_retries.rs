@@ -13,7 +13,13 @@ use elision_htm::{harness, HtmConfig, MemoryBuilder};
 use elision_structures::{key_domain, OpMix, RbTree, TreeOp};
 use std::sync::Arc;
 
-fn run_with_budget(args: &CliArgs, scheme: SchemeKind, lock: LockKind, budget: u32, ops: u64) -> f64 {
+fn run_with_budget(
+    args: &CliArgs,
+    scheme: SchemeKind,
+    lock: LockKind,
+    budget: u32,
+    ops: u64,
+) -> f64 {
     let size = 128;
     let domain = key_domain(size);
     let threads = args.threads;

@@ -84,7 +84,14 @@ fn main() {
         let (thr, spread) = run_custom(
             &args,
             |b, t| {
-                make_scheme_with_aux(SchemeKind::HleScm, LockKind::Mcs, aux, SchemeConfig::paper(), b, t)
+                make_scheme_with_aux(
+                    SchemeKind::HleScm,
+                    LockKind::Mcs,
+                    aux,
+                    SchemeConfig::paper(),
+                    b,
+                    t,
+                )
             },
             ops,
         );

@@ -33,7 +33,8 @@ fn main() {
             let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
             let mut table = Table::new(&header_refs);
             for &size in &sizes {
-                let mut hle_spec = TreeBenchSpec::new(SchemeKind::Hle, lock, args.threads, size, mix);
+                let mut hle_spec =
+                    TreeBenchSpec::new(SchemeKind::Hle, lock, args.threads, size, mix);
                 hle_spec.ops_per_thread = ops;
                 let hle = run_tree_bench_avg(&hle_spec, args.seeds);
                 let mut cells = vec![size.to_string()];

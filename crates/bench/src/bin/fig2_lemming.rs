@@ -24,9 +24,13 @@ fn main() {
     let args = CliArgs::parse();
     let sizes = size_sweep(args.quick, args.full);
     let ops = if args.quick { 300 } else { 1000 };
+    // --chaos runs the whole figure under the named fault profile at a
+    // moderate intensity (level 2 of 3).
+    let (fault_plan, htm_faults) = args.chaos.at_intensity(2, 0xC4A0);
 
     println!("== Figure 2: impact of aborts under plain HLE ==");
-    println!("{} threads, 10% insert / 10% delete / 80% lookup\n", args.threads);
+    println!("{} threads, 10% insert / 10% delete / 80% lookup", args.threads);
+    println!("chaos profile: {}\n", args.chaos);
 
     let mut table = Table::new(&[
         "size",
@@ -38,8 +42,11 @@ fn main() {
     ]);
     for &size in &sizes {
         for lock in [LockKind::Ttas, LockKind::Mcs] {
-            let mut spec = TreeBenchSpec::new(SchemeKind::Hle, lock, args.threads, size, OpMix::MODERATE);
+            let mut spec =
+                TreeBenchSpec::new(SchemeKind::Hle, lock, args.threads, size, OpMix::MODERATE);
             spec.ops_per_thread = ops;
+            spec.faults = fault_plan;
+            spec.htm = spec.htm.with_faults(htm_faults);
             let hle = run_tree_bench_avg(&spec, args.seeds);
             let mut std_spec = spec;
             std_spec.scheme = SchemeKind::Standard;

@@ -45,8 +45,7 @@ fn main() {
         if let Some(dir) = &args.csv {
             table.write_csv(dir, &format!("fig3_dynamics_{}", lock.label().to_lowercase()));
         }
-        let avg_nonspec: f64 =
-            slots.frac_nonspec.iter().sum::<f64>() / slots.len().max(1) as f64;
+        let avg_nonspec: f64 = slots.frac_nonspec.iter().sum::<f64>() / slots.len().max(1) as f64;
         println!(
             "worst throughput dip: {:.2}x below average; mean per-slot frac-nonspec: {:.3}\n",
             slots.worst_slowdown(),

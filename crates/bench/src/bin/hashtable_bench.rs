@@ -8,7 +8,7 @@
 
 use elision_bench::report::{f2, Table};
 use elision_bench::{run_hash_bench, CliArgs, HashBenchSpec, BENCH_WINDOW};
-use elision_core::{LockKind, SchemeKind};
+use elision_core::{LockKind, SchemeConfig, SchemeKind};
 use elision_htm::HtmConfig;
 use elision_structures::OpMix;
 
@@ -19,9 +19,13 @@ fn main() {
     let args = CliArgs::parse();
     let size = if args.quick { 128 } else { 512 };
     let ops = if args.quick { 300 } else { 1000 };
+    let (fault_plan, htm_faults) = args.chaos.at_intensity(2, 0xC4A0);
 
     println!("== Hash-table benchmark (short transactions; §7.1) ==");
-    println!("{} threads, {size}-entry table; baseline y=1 is plain HLE of the same lock\n", args.threads);
+    println!(
+        "{} threads, {size}-entry table; baseline y=1 is plain HLE of the same lock\n",
+        args.threads
+    );
 
     for lock in [LockKind::Ttas, LockKind::Mcs] {
         println!("--- {} lock ---", lock.label());
@@ -38,8 +42,10 @@ fn main() {
                 mix,
                 ops_per_thread: ops,
                 window: BENCH_WINDOW,
-                htm: HtmConfig::haswell(),
+                htm: HtmConfig::haswell().with_faults(htm_faults),
                 seed: 42,
+                scheme_cfg: SchemeConfig::paper(),
+                faults: fault_plan,
             };
             let hle = run_hash_bench(&base_spec);
             let mut cells = vec![label.to_string()];

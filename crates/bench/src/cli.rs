@@ -1,6 +1,7 @@
 //! A tiny flag parser shared by the figure binaries (no external
-//! dependency needed for four flags).
+//! dependency needed for a handful of flags).
 
+use crate::chaos::ChaosProfile;
 use std::path::PathBuf;
 
 /// Common figure-binary options.
@@ -16,11 +17,21 @@ pub struct CliArgs {
     pub threads: usize,
     /// Directory to drop CSV files into.
     pub csv: Option<PathBuf>,
+    /// Fault-injection profile to run the sweep under (`--chaos NAME`;
+    /// defaults to no injection).
+    pub chaos: ChaosProfile,
 }
 
 impl Default for CliArgs {
     fn default() -> Self {
-        CliArgs { quick: false, full: false, seeds: 3, threads: crate::PAPER_THREADS, csv: None }
+        CliArgs {
+            quick: false,
+            full: false,
+            seeds: 3,
+            threads: crate::PAPER_THREADS,
+            csv: None,
+            chaos: ChaosProfile::None,
+        }
     }
 }
 
@@ -55,6 +66,15 @@ impl CliArgs {
                         it.next().unwrap_or_else(|| usage("--csv needs a directory")),
                     ));
                 }
+                "--chaos" => {
+                    let name = it.next().unwrap_or_else(|| usage("--chaos needs a profile name"));
+                    out.chaos = ChaosProfile::parse(&name).unwrap_or_else(|| {
+                        usage(&format!(
+                            "unknown chaos profile {name} (one of: {})",
+                            ChaosProfile::ALL.map(|p| p.label()).join(", ")
+                        ))
+                    });
+                }
                 other => usage(&format!("unknown flag {other}")),
             }
         }
@@ -65,7 +85,10 @@ impl CliArgs {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: <bin> [--quick] [--full] [--seeds N] [--threads N] [--csv DIR]");
+    eprintln!(
+        "usage: <bin> [--quick] [--full] [--seeds N] [--threads N] [--csv DIR] [--chaos PROFILE]"
+    );
+    eprintln!("chaos profiles: {}", crate::chaos::ChaosProfile::ALL.map(|p| p.label()).join(", "));
     std::process::exit(2);
 }
 
@@ -93,6 +116,13 @@ mod tests {
         assert_eq!(a.seeds, 5);
         assert_eq!(a.threads, 4);
         assert_eq!(a.csv.unwrap(), PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn chaos_profile_parses() {
+        assert_eq!(parse(&[]).chaos, ChaosProfile::None);
+        assert_eq!(parse(&["--chaos", "storm"]).chaos, ChaosProfile::Storm);
+        assert_eq!(parse(&["--chaos", "full"]).chaos, ChaosProfile::Full);
     }
 
     #[test]

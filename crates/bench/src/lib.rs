@@ -10,10 +10,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cli;
 pub mod report;
 pub mod treebench;
 
+pub use chaos::ChaosProfile;
 pub use cli::CliArgs;
 pub use treebench::{
     run_hash_bench, run_tree_bench, run_tree_bench_avg, HashBenchSpec, TreeBenchResult,

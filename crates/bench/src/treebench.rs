@@ -6,9 +6,9 @@
 //! mix, each as one critical section under the scheme being measured.
 //! Throughput is operations per thousand simulated cycles.
 
-use elision_core::{make_scheme, SchemeConfig, SchemeKind};
+use elision_core::{make_scheme, SchemeConfig, SchemeKind, Watchdog};
 use elision_htm::{harness, HtmConfig, MemoryBuilder, TxnStats};
-use elision_sim::{OpCounters, SlotRecorder, SlotSeries};
+use elision_sim::{FaultPlan, FaultStats, OpCounters, SlotRecorder, SlotSeries};
 use elision_structures::{key_domain, HashTable, OpMix, RbTree, TreeOp};
 use std::sync::Arc;
 use std::sync::Mutex;
@@ -38,11 +38,21 @@ pub struct TreeBenchSpec {
     pub seed: u64,
     /// When set, record per-slot series with this slot width (cycles).
     pub slot_cycles: Option<u64>,
+    /// Scheme tuning (the paper's defaults, or a hardened variant).
+    pub scheme_cfg: SchemeConfig,
+    /// Scheduler-level fault plan (preemption, clock jitter).
+    pub faults: FaultPlan,
 }
 
 impl TreeBenchSpec {
     /// A spec with the paper's defaults for the given scheme/lock cell.
-    pub fn new(scheme: SchemeKind, lock: LockKind, threads: usize, size: usize, mix: OpMix) -> Self {
+    pub fn new(
+        scheme: SchemeKind,
+        lock: LockKind,
+        threads: usize,
+        size: usize,
+        mix: OpMix,
+    ) -> Self {
         TreeBenchSpec {
             scheme,
             lock,
@@ -54,6 +64,8 @@ impl TreeBenchSpec {
             htm: HtmConfig::haswell(),
             seed: 42,
             slot_cycles: None,
+            scheme_cfg: SchemeConfig::paper(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -71,6 +83,12 @@ pub struct TreeBenchResult {
     pub txn_stats: TxnStats,
     /// Per-slot series (when requested).
     pub slots: Option<SlotSeries>,
+    /// Per-operation starvation accounting (attempts, completion cycles).
+    pub watchdog: Watchdog,
+    /// Merged injected-fault statistics (all-zero without a fault plan).
+    pub fault_stats: FaultStats,
+    /// How many times the speculation circuit breaker tripped.
+    pub breaker_trips: u64,
 }
 
 /// Run one tree-benchmark cell.
@@ -79,7 +97,7 @@ pub fn run_tree_bench(spec: &TreeBenchSpec) -> TreeBenchResult {
     let mut b = MemoryBuilder::new();
     let capacity = domain as usize + spec.threads * 4 + 16;
     let tree = RbTree::new(&mut b, capacity, spec.threads);
-    let scheme = make_scheme(spec.scheme, spec.lock, SchemeConfig::paper(), &mut b, spec.threads);
+    let scheme = make_scheme(spec.scheme, spec.lock, spec.scheme_cfg, &mut b, spec.threads);
     let mem = Arc::new(b.freeze(spec.threads));
     tree.init(&mem);
 
@@ -104,42 +122,59 @@ pub fn run_tree_bench(spec: &TreeBenchSpec) -> TreeBenchResult {
 
     // Measured phase.
     let slot_sink: Arc<Mutex<Vec<SlotRecorder>>> = Arc::new(Mutex::new(Vec::new()));
-    let (results, makespan) = {
+    let (results, makespan, fault_stats) = {
         let tree = tree.clone();
         let scheme = Arc::clone(&scheme);
         let ops = spec.ops_per_thread;
         let mix = spec.mix;
         let slot_cycles = spec.slot_cycles;
         let slot_sink = Arc::clone(&slot_sink);
-        harness::run_arc(spec.threads, spec.window, spec.htm, spec.seed, Arc::clone(&mem), move |s| {
-            let mut slots = slot_cycles.map(SlotRecorder::new);
-            for _ in 0..ops {
-                // Draw the operation before entering the critical section
-                // so speculative retries replay the same operation.
-                let op = mix.draw(&mut s.rng);
-                let key = s.rng.below(domain);
-                let out = scheme.execute(s, |s| match op {
-                    TreeOp::Insert => tree.insert(s, key).map(|_| ()),
-                    TreeOp::Delete => tree.remove(s, key).map(|_| ()),
-                    TreeOp::Lookup => tree.contains(s, key).map(|_| ()),
-                });
-                if let Some(rec) = slots.as_mut() {
-                    rec.record(s.now(), out.nonspeculative);
+        harness::run_arc_faulted(
+            spec.threads,
+            spec.window,
+            spec.htm,
+            spec.seed,
+            spec.faults,
+            Arc::clone(&mem),
+            move |s| {
+                let mut slots = slot_cycles.map(SlotRecorder::new);
+                let mut watchdog = Watchdog::new(0);
+                for _ in 0..ops {
+                    // Draw the operation before entering the critical section
+                    // so speculative retries replay the same operation.
+                    let op = mix.draw(&mut s.rng);
+                    let key = s.rng.below(domain);
+                    let started = s.now();
+                    let out = scheme.execute(s, |s| match op {
+                        TreeOp::Insert => tree.insert(s, key).map(|_| ()),
+                        TreeOp::Delete => tree.remove(s, key).map(|_| ()),
+                        TreeOp::Lookup => tree.contains(s, key).map(|_| ()),
+                    });
+                    watchdog.record(out.attempts, s.now().saturating_sub(started));
+                    if let Some(rec) = slots.as_mut() {
+                        rec.record(s.now(), out.nonspeculative);
+                    }
                 }
-            }
-            if let Some(rec) = slots {
-                slot_sink.lock().expect("slot sink").push(rec);
-            }
-            (s.counters, s.stats)
-        })
+                if let Some(rec) = slots {
+                    slot_sink.lock().expect("slot sink").push(rec);
+                }
+                (s.counters, s.stats, watchdog)
+            },
+        )
     };
 
     let total_ops = spec.ops_per_thread * spec.threads as u64;
-    let counters = OpCounters::sum(results.iter().map(|(c, _)| c));
+    let counters = OpCounters::sum(results.iter().map(|(c, _, _)| c));
     let mut txn_stats = TxnStats::default();
-    for (_, t) in &results {
+    let mut watchdog = Watchdog::new(0);
+    for (_, t, w) in &results {
         txn_stats.merge(t);
+        watchdog.merge(w);
     }
+    let fault_stats = fault_stats.iter().fold(FaultStats::default(), |mut acc, f| {
+        acc.merge(f);
+        acc
+    });
     debug_assert!(
         spec.scheme == SchemeKind::NoLock || counters.completed() == total_ops,
         "completed {} of {total_ops} operations",
@@ -161,6 +196,9 @@ pub fn run_tree_bench(spec: &TreeBenchSpec) -> TreeBenchResult {
         makespan,
         txn_stats,
         slots,
+        watchdog,
+        fault_stats,
+        breaker_trips: scheme.breaker_trips(),
     }
 }
 
@@ -170,6 +208,9 @@ pub fn run_tree_bench_avg(spec: &TreeBenchSpec, seeds: u64) -> TreeBenchResult {
     let mut counters = OpCounters::new();
     let mut txn_stats = TxnStats::default();
     let mut makespan = 0u64;
+    let mut watchdog = Watchdog::new(0);
+    let mut fault_stats = FaultStats::default();
+    let mut breaker_trips = 0u64;
     for k in 0..seeds.max(1) {
         let mut s = *spec;
         s.seed = spec.seed.wrapping_add(k * 7919);
@@ -178,6 +219,9 @@ pub fn run_tree_bench_avg(spec: &TreeBenchSpec, seeds: u64) -> TreeBenchResult {
         counters.merge(&r.counters);
         txn_stats.merge(&r.txn_stats);
         makespan += r.makespan;
+        watchdog.merge(&r.watchdog);
+        fault_stats.merge(&r.fault_stats);
+        breaker_trips += r.breaker_trips;
     }
     let n = seeds.max(1);
     TreeBenchResult {
@@ -186,6 +230,9 @@ pub fn run_tree_bench_avg(spec: &TreeBenchSpec, seeds: u64) -> TreeBenchResult {
         makespan: makespan / n,
         txn_stats,
         slots: None,
+        watchdog,
+        fault_stats,
+        breaker_trips,
     }
 }
 
@@ -211,6 +258,10 @@ pub struct HashBenchSpec {
     pub htm: HtmConfig,
     /// RNG seed.
     pub seed: u64,
+    /// Scheme tuning (the paper's defaults, or a hardened variant).
+    pub scheme_cfg: SchemeConfig,
+    /// Scheduler-level fault plan (preemption, clock jitter).
+    pub faults: FaultPlan,
 }
 
 /// Run one hash-table benchmark cell.
@@ -219,55 +270,82 @@ pub fn run_hash_bench(spec: &HashBenchSpec) -> TreeBenchResult {
     let mut b = MemoryBuilder::new();
     let capacity = domain as usize + 16;
     let table = HashTable::new(&mut b, (spec.size / 2).max(16), capacity, spec.threads);
-    let scheme = make_scheme(spec.scheme, spec.lock, SchemeConfig::paper(), &mut b, spec.threads);
+    let scheme = make_scheme(spec.scheme, spec.lock, spec.scheme_cfg, &mut b, spec.threads);
     let mem = Arc::new(b.freeze(spec.threads));
     table.init(&mem);
 
     {
         let table = table.clone();
         let size = spec.size;
-        harness::run_arc(1, 0, HtmConfig::deterministic(), spec.seed ^ 0xF111, Arc::clone(&mem), move |s| {
-            let mut filled = 0usize;
-            while filled < size {
-                let key = s.rng.below(domain);
-                if table.put(s, key, key).expect("fill").is_none() {
-                    filled += 1;
+        harness::run_arc(
+            1,
+            0,
+            HtmConfig::deterministic(),
+            spec.seed ^ 0xF111,
+            Arc::clone(&mem),
+            move |s| {
+                let mut filled = 0usize;
+                while filled < size {
+                    let key = s.rng.below(domain);
+                    if table.put(s, key, key).expect("fill").is_none() {
+                        filled += 1;
+                    }
                 }
-            }
-        });
+            },
+        );
     }
     table.rebalance_freelists(&mem);
 
-    let (results, makespan) = {
+    let (results, makespan, fault_stats) = {
         let table = table.clone();
         let scheme = Arc::clone(&scheme);
         let ops = spec.ops_per_thread;
         let mix = spec.mix;
-        harness::run_arc(spec.threads, spec.window, spec.htm, spec.seed, Arc::clone(&mem), move |s| {
-            for _ in 0..ops {
-                let op = mix.draw(&mut s.rng);
-                let key = s.rng.below(domain);
-                scheme.execute(s, |s| match op {
-                    TreeOp::Insert => table.put(s, key, key).map(|_| ()),
-                    TreeOp::Delete => table.remove(s, key).map(|_| ()),
-                    TreeOp::Lookup => table.get(s, key).map(|_| ()),
-                });
-            }
-            (s.counters, s.stats)
-        })
+        harness::run_arc_faulted(
+            spec.threads,
+            spec.window,
+            spec.htm,
+            spec.seed,
+            spec.faults,
+            Arc::clone(&mem),
+            move |s| {
+                let mut watchdog = Watchdog::new(0);
+                for _ in 0..ops {
+                    let op = mix.draw(&mut s.rng);
+                    let key = s.rng.below(domain);
+                    let started = s.now();
+                    let out = scheme.execute(s, |s| match op {
+                        TreeOp::Insert => table.put(s, key, key).map(|_| ()),
+                        TreeOp::Delete => table.remove(s, key).map(|_| ()),
+                        TreeOp::Lookup => table.get(s, key).map(|_| ()),
+                    });
+                    watchdog.record(out.attempts, s.now().saturating_sub(started));
+                }
+                (s.counters, s.stats, watchdog)
+            },
+        )
     };
 
     let total_ops = spec.ops_per_thread * spec.threads as u64;
     let mut txn_stats = TxnStats::default();
-    for (_, t) in &results {
+    let mut watchdog = Watchdog::new(0);
+    for (_, t, w) in &results {
         txn_stats.merge(t);
+        watchdog.merge(w);
     }
+    let fault_stats = fault_stats.iter().fold(FaultStats::default(), |mut acc, f| {
+        acc.merge(f);
+        acc
+    });
     TreeBenchResult {
         throughput: total_ops as f64 * 1000.0 / makespan.max(1) as f64,
-        counters: OpCounters::sum(results.iter().map(|(c, _)| c)),
+        counters: OpCounters::sum(results.iter().map(|(c, _, _)| c)),
         makespan,
         txn_stats,
         slots: None,
+        watchdog,
+        fault_stats,
+        breaker_trips: scheme.breaker_trips(),
     }
 }
 
@@ -328,6 +406,8 @@ mod tests {
             window: 0,
             htm: HtmConfig::deterministic(),
             seed: 1,
+            scheme_cfg: SchemeConfig::paper(),
+            faults: FaultPlan::none(),
         };
         let r = run_hash_bench(&spec);
         assert_eq!(r.counters.completed(), 100);

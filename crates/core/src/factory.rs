@@ -73,12 +73,10 @@ pub fn make_scheme(
     threads: usize,
 ) -> Arc<Scheme> {
     let main = make_lock(lock, b, threads);
-    let aux = if scheme.uses_aux() {
-        Some(make_lock(LockKind::Mcs, b, threads))
-    } else {
-        None
-    };
-    Arc::new(Scheme::new(scheme, cfg, main, aux))
+    let aux = if scheme.uses_aux() { Some(make_lock(LockKind::Mcs, b, threads)) } else { None };
+    // The aux lock is supplied exactly when the scheme needs it, so
+    // construction cannot fail.
+    Arc::new(Scheme::new(scheme, cfg, main, aux).expect("aux wired by construction"))
 }
 
 /// Build the grouped-SCM extension (§8 future work): `groups` auxiliary
@@ -92,7 +90,8 @@ pub fn make_grouped_scm(
 ) -> Arc<Scheme> {
     let main = make_lock(lock, b, threads);
     let aux = (0..groups.max(1)).map(|_| make_lock(LockKind::Mcs, b, threads)).collect();
-    Arc::new(Scheme::new_grouped(cfg, main, aux))
+    // `groups.max(1)` guarantees at least one aux lock.
+    Arc::new(Scheme::new_grouped(cfg, main, aux).expect("at least one aux by construction"))
 }
 
 /// Like [`make_scheme`] but with an explicit auxiliary lock kind (the
@@ -106,12 +105,10 @@ pub fn make_scheme_with_aux(
     threads: usize,
 ) -> Arc<Scheme> {
     let main = make_lock(lock, b, threads);
-    let aux = if scheme.uses_aux() {
-        Some(make_lock(aux_lock, b, threads))
-    } else {
-        None
-    };
-    Arc::new(Scheme::new(scheme, cfg, main, aux))
+    let aux = if scheme.uses_aux() { Some(make_lock(aux_lock, b, threads)) } else { None };
+    // The aux lock is supplied exactly when the scheme needs it, so
+    // construction cannot fail.
+    Arc::new(Scheme::new(scheme, cfg, main, aux).expect("aux wired by construction"))
 }
 
 #[cfg(test)]

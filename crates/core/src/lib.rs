@@ -53,9 +53,13 @@
 
 mod factory;
 mod scheme;
+mod watchdog;
 
 pub use factory::{make_grouped_scm, make_lock, make_scheme, make_scheme_with_aux, LockKind};
-pub use scheme::{ExecOutcome, Scheme, SchemeConfig, SchemeKind};
+pub use scheme::{
+    BackoffPolicy, BreakerConfig, ExecOutcome, Scheme, SchemeConfig, SchemeError, SchemeKind,
+};
+pub use watchdog::Watchdog;
 
 #[cfg(test)]
 mod tests {
@@ -167,7 +171,13 @@ mod tests {
 
     #[test]
     fn conflict_free_workloads_stay_fully_speculative() {
-        for kind in [SchemeKind::Hle, SchemeKind::HleRetries, SchemeKind::HleScm, SchemeKind::OptSlr, SchemeKind::SlrScm] {
+        for kind in [
+            SchemeKind::Hle,
+            SchemeKind::HleRetries,
+            SchemeKind::HleScm,
+            SchemeKind::OptSlr,
+            SchemeKind::SlrScm,
+        ] {
             for lock in [LockKind::Ttas, LockKind::Mcs] {
                 let c = disjoint_stress(kind, lock);
                 assert_eq!(c.nonspeculative, 0, "{kind}/{lock} serialized needlessly");
@@ -188,30 +198,33 @@ mod tests {
         let a = b.alloc_isolated(0);
         let z = b.alloc_isolated(0);
         let main = make_lock(LockKind::Ttas, &mut b, 2);
-        let standard =
-            Arc::new(Scheme::new(SchemeKind::Standard, SchemeConfig::paper(), Arc::clone(&main), None));
-        let slr =
-            Arc::new(Scheme::new(SchemeKind::OptSlr, SchemeConfig::paper(), Arc::clone(&main), None));
+        let standard = Arc::new(
+            Scheme::new(SchemeKind::Standard, SchemeConfig::paper(), Arc::clone(&main), None)
+                .expect("Standard needs no aux lock"),
+        );
+        let slr = Arc::new(
+            Scheme::new(SchemeKind::OptSlr, SchemeConfig::paper(), Arc::clone(&main), None)
+                .expect("OptSlr needs no aux lock"),
+        );
         let mem = b.freeze(2);
-        let (results, mem, _) =
-            harness::run(2, 0, HtmConfig::deterministic(), 3, mem, move |s| {
-                if s.tid() == 0 {
-                    let out = standard.execute(s, |s| {
-                        let v = s.load(a)?;
-                        s.work(500)?;
-                        s.store(a, v + 1)
-                    });
-                    (out.nonspeculative, out.attempts)
-                } else {
-                    s.work(100).unwrap();
-                    let out = slr.execute(s, |s| {
-                        let v = s.load(z)?;
-                        s.work(30)?;
-                        s.store(z, v + 1)
-                    });
-                    (out.nonspeculative, out.attempts)
-                }
-            });
+        let (results, mem, _) = harness::run(2, 0, HtmConfig::deterministic(), 3, mem, move |s| {
+            if s.tid() == 0 {
+                let out = standard.execute(s, |s| {
+                    let v = s.load(a)?;
+                    s.work(500)?;
+                    s.store(a, v + 1)
+                });
+                (out.nonspeculative, out.attempts)
+            } else {
+                s.work(100).unwrap();
+                let out = slr.execute(s, |s| {
+                    let v = s.load(z)?;
+                    s.work(30)?;
+                    s.store(z, v + 1)
+                });
+                (out.nonspeculative, out.attempts)
+            }
+        });
         assert!(results[0].0, "T0 ran under the real lock");
         assert!(!results[1].0, "SLR thread should have committed speculatively");
         assert_eq!(mem.read_direct(a), 1);
@@ -311,7 +324,8 @@ mod tests {
     fn outcome_reports_attempts() {
         let mut b = MemoryBuilder::new();
         let x = b.alloc_isolated(0);
-        let scheme = make_scheme(SchemeKind::Standard, LockKind::Ttas, SchemeConfig::paper(), &mut b, 1);
+        let scheme =
+            make_scheme(SchemeKind::Standard, LockKind::Ttas, SchemeConfig::paper(), &mut b, 1);
         let mem = b.freeze(1);
         harness::run(1, 0, HtmConfig::deterministic(), 1, mem, move |s| {
             let out = scheme.execute(s, |s| s.store(x, 1));
@@ -326,7 +340,13 @@ mod tests {
         // complete all operations correctly (failure injection).
         let threads = 4;
         let ops = 40u64;
-        for kind in [SchemeKind::Hle, SchemeKind::HleRetries, SchemeKind::HleScm, SchemeKind::OptSlr, SchemeKind::SlrScm] {
+        for kind in [
+            SchemeKind::Hle,
+            SchemeKind::HleRetries,
+            SchemeKind::HleScm,
+            SchemeKind::OptSlr,
+            SchemeKind::SlrScm,
+        ] {
             let mut b = MemoryBuilder::new();
             let counter = b.alloc_isolated(0);
             let scheme = make_scheme(kind, LockKind::Mcs, SchemeConfig::paper(), &mut b, threads);
@@ -340,7 +360,11 @@ mod tests {
                     });
                 }
             });
-            assert_eq!(mem.read_direct(counter), threads as u64 * ops, "{kind} under spurious storm");
+            assert_eq!(
+                mem.read_direct(counter),
+                threads as u64 * ops,
+                "{kind} under spurious storm"
+            );
         }
     }
 
@@ -380,7 +404,13 @@ mod tests {
             let scheme = if grouped {
                 make_grouped_scm(LockKind::Ttas, 16, SchemeConfig::paper(), &mut b, threads)
             } else {
-                make_scheme(SchemeKind::HleScm, LockKind::Ttas, SchemeConfig::paper(), &mut b, threads)
+                make_scheme(
+                    SchemeKind::HleScm,
+                    LockKind::Ttas,
+                    SchemeConfig::paper(),
+                    &mut b,
+                    threads,
+                )
             };
             let mem = b.freeze(threads);
             let hot2 = hot.clone();
@@ -409,13 +439,137 @@ mod tests {
     }
 
     #[test]
+    fn scm_without_aux_is_a_typed_error() {
+        let mut b = MemoryBuilder::new();
+        let main = make_lock(LockKind::Ttas, &mut b, 2);
+        for kind in [SchemeKind::HleScm, SchemeKind::SlrScm, SchemeKind::GroupedScm] {
+            let err = Scheme::new(kind, SchemeConfig::paper(), Arc::clone(&main), None)
+                .expect_err("SCM without aux must be rejected");
+            assert_eq!(err, SchemeError::MissingAuxLock(kind));
+            assert!(err.to_string().contains("auxiliary lock"), "useful message: {err}");
+        }
+        let err = Scheme::new_grouped(SchemeConfig::paper(), Arc::clone(&main), Vec::new())
+            .expect_err("grouped SCM without aux must be rejected");
+        assert_eq!(err, SchemeError::NoAuxLocks);
+        // Non-SCM kinds never need the aux lock.
+        assert!(Scheme::new(SchemeKind::Hle, SchemeConfig::paper(), main, None).is_ok());
+    }
+
+    /// Like `counter_stress` but with an arbitrary scheme config and HTM
+    /// fault injection; returns (counter value, summed counters, scheme).
+    fn chaos_counter_stress(
+        scheme_kind: SchemeKind,
+        lock: LockKind,
+        scheme_cfg: SchemeConfig,
+        faults: elision_htm::HtmFaults,
+        threads: usize,
+        ops: u64,
+    ) -> (u64, OpCounters, Arc<Scheme>) {
+        let mut b = MemoryBuilder::new();
+        let counter = b.alloc_isolated(0);
+        let scheme = make_scheme(scheme_kind, lock, scheme_cfg, &mut b, threads);
+        let mem = b.freeze(threads);
+        let cfg = HtmConfig::deterministic().with_faults(faults);
+        let scheme2 = Arc::clone(&scheme);
+        let (results, mem, _) = harness::run(threads, 0, cfg, 7, mem, move |s| {
+            for _ in 0..ops {
+                scheme2.execute(s, |s| {
+                    let v = s.load(counter)?;
+                    s.work(3)?;
+                    s.store(counter, v + 1)
+                });
+            }
+            s.counters
+        });
+        (mem.read_direct(counter), OpCounters::sum(results.iter()), scheme)
+    }
+
+    #[test]
+    fn hardened_config_stays_correct_under_abort_storms() {
+        let faults = elision_htm::HtmFaults::none().with_storm(4000, 1500, 800);
+        for kind in SchemeKind::ALL {
+            for cfg in [SchemeConfig::paper(), SchemeConfig::hardened()] {
+                let (count, c) = {
+                    let (count, c, _) =
+                        chaos_counter_stress(kind, LockKind::Mcs, cfg, faults, 4, 40);
+                    (count, c)
+                };
+                assert_eq!(count, 160, "{kind} lost updates under storm (cfg {cfg:?})");
+                assert_eq!(c.completed(), 160, "{kind} miscounted under storm");
+            }
+        }
+    }
+
+    #[test]
+    fn breaker_trips_under_sustained_storm_and_stays_quiet_without() {
+        let cfg = SchemeConfig {
+            breaker: Some(BreakerConfig {
+                window_attempts: 16,
+                trip_permille: 600,
+                cooldown_ops: 8,
+            }),
+            ..SchemeConfig::paper()
+        };
+        // Permanent storm: nearly every speculative attempt aborts.
+        let storm = elision_htm::HtmFaults::none().with_storm(10, 10, 950);
+        let (count, _, scheme) =
+            chaos_counter_stress(SchemeKind::HleRetries, LockKind::Mcs, cfg, storm, 4, 60);
+        assert_eq!(count, 240, "lost updates under permanent storm");
+        assert!(scheme.breaker_trips() > 0, "breaker never tripped under a 95% abort storm");
+
+        // No faults: conflict-heavy but mostly-committing workload must
+        // not trip a 60%-abort-rate breaker.
+        let calm = elision_htm::HtmFaults::none();
+        let (count, _, scheme) =
+            chaos_counter_stress(SchemeKind::HleScm, LockKind::Mcs, cfg, calm, 2, 40);
+        assert_eq!(count, 80);
+        assert_eq!(scheme.breaker_trips(), 0, "breaker tripped on a calm run");
+    }
+
+    #[test]
+    fn backoff_preserves_atomicity_and_adds_no_attempts_when_calm() {
+        let cfg = SchemeConfig {
+            backoff: Some(BackoffPolicy {
+                base_cycles: 32,
+                max_cycles: 2048,
+                jitter_permille: 500,
+            }),
+            ..SchemeConfig::paper()
+        };
+        let faults = elision_htm::HtmFaults::none().with_hot_line(0, 300);
+        for kind in [SchemeKind::HleRetries, SchemeKind::OptSlr, SchemeKind::SlrScm] {
+            let (count, c, _) = chaos_counter_stress(kind, LockKind::Ttas, cfg, faults, 4, 40);
+            assert_eq!(count, 160, "{kind} lost updates with backoff under hot line");
+            assert_eq!(c.completed(), 160);
+        }
+    }
+
+    #[test]
+    fn backoff_delays_grow_then_cap() {
+        let bp = BackoffPolicy { base_cycles: 100, max_cycles: 1000, jitter_permille: 0 };
+        let mut rng = elision_sim::DetRng::new(1, 1);
+        assert_eq!(bp.delay(1, &mut rng), 100);
+        assert_eq!(bp.delay(2, &mut rng), 200);
+        assert_eq!(bp.delay(3, &mut rng), 400);
+        assert_eq!(bp.delay(5, &mut rng), 1000, "capped");
+        assert_eq!(bp.delay(64, &mut rng), 1000, "shift-overflow saturates at the cap");
+        let jittered = BackoffPolicy { jitter_permille: 1000, ..bp };
+        for attempt in 1..=8 {
+            let d = jittered.delay(attempt, &mut rng);
+            let raw = (100u64 << (attempt - 1).min(48)).min(1000);
+            assert!(d >= raw && d <= 2 * raw, "jitter within [raw, 2*raw]: {d} vs {raw}");
+        }
+    }
+
+    #[test]
     fn capacity_overflow_falls_back_to_lock() {
         // A critical section writing more lines than the write set can
         // hold must complete non-speculatively under every elision scheme.
         let mut b = MemoryBuilder::new().words_per_line(1);
         let vars = b.alloc_array(32, 0);
         b.pad_to_line();
-        let scheme = make_scheme(SchemeKind::OptSlr, LockKind::Ttas, SchemeConfig::paper(), &mut b, 1);
+        let scheme =
+            make_scheme(SchemeKind::OptSlr, LockKind::Ttas, SchemeConfig::paper(), &mut b, 1);
         let mem = b.freeze(1);
         let cfg = HtmConfig::deterministic().with_capacity(64, 8);
         harness::run(1, 0, cfg, 1, mem, move |s| {

@@ -27,9 +27,33 @@
 
 use elision_htm::{codes, Strand, TxResult};
 use elision_locks::{FallbackOutcome, RawLock};
-use elision_sim::AttemptKind;
+use elision_sim::{AttemptKind, DetRng};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Typed configuration errors raised when assembling a [`Scheme`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeError {
+    /// An SCM scheme (see [`SchemeKind::uses_aux`]) was constructed
+    /// without the auxiliary serializing lock it requires.
+    MissingAuxLock(SchemeKind),
+    /// Grouped SCM was constructed with an empty auxiliary-lock vector.
+    NoAuxLocks,
+}
+
+impl fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeError::MissingAuxLock(kind) => {
+                write!(f, "{kind} requires an auxiliary lock")
+            }
+            SchemeError::NoAuxLocks => f.write_str("grouped SCM needs at least one auxiliary lock"),
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}
 
 /// Which elision scheme to run (paper §7 "Methodology").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -93,6 +117,67 @@ impl fmt::Display for SchemeKind {
     }
 }
 
+/// Bounded exponential backoff between speculative retries.
+///
+/// After the `k`-th consecutive abort of one operation the thread burns
+/// `min(max_cycles, base_cycles << (k-1))` cycles of simulated spin-wait,
+/// plus a seeded random jitter of up to `jitter_permille`/1000 of that
+/// delay. Jitter draws come from the strand's dedicated retry RNG stream,
+/// so enabling backoff never perturbs workload or abort-injection draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay after the first abort, in cycles.
+    pub base_cycles: u64,
+    /// Cap on the exponential delay, in cycles.
+    pub max_cycles: u64,
+    /// Jitter span, in permille of the capped delay.
+    pub jitter_permille: u32,
+}
+
+impl BackoffPolicy {
+    /// A moderate default: 64..8192 cycles with 50% jitter.
+    pub fn default_policy() -> Self {
+        BackoffPolicy { base_cycles: 64, max_cycles: 8192, jitter_permille: 500 }
+    }
+
+    /// The delay before retry number `attempt` (1-based: the delay after
+    /// the first abort uses `attempt == 1`).
+    pub fn delay(&self, attempt: u32, rng: &mut DetRng) -> u64 {
+        let shift = attempt.saturating_sub(1).min(48);
+        let raw =
+            self.base_cycles.checked_shl(shift).unwrap_or(self.max_cycles).min(self.max_cycles);
+        let span = (raw as u128 * self.jitter_permille as u128 / 1000) as u64;
+        raw + if span > 0 { rng.below(span + 1) } else { 0 }
+    }
+}
+
+/// Per-scheme speculation circuit breaker.
+///
+/// The breaker watches the recent abort rate across *all* threads sharing
+/// the scheme. Once `window_attempts` speculative attempts accumulate, the
+/// window's abort fraction is compared against `trip_permille`; at or
+/// above it the breaker opens and the next `cooldown_ops` operations are
+/// routed straight to the non-speculative path (no doomed speculation, no
+/// abort-storm amplification). After the cooldown the breaker closes and
+/// speculation is re-probed with a fresh window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Speculative attempts per evaluation window.
+    pub window_attempts: u32,
+    /// Abort fraction (permille) at which the breaker trips.
+    pub trip_permille: u32,
+    /// Operations served non-speculatively while open.
+    pub cooldown_ops: u32,
+}
+
+impl BreakerConfig {
+    /// A moderate default: evaluate every 64 attempts, trip at 75%
+    /// aborted, cool down for 32 operations.
+    pub fn default_policy() -> Self {
+        BreakerConfig { window_attempts: 64, trip_permille: 750, cooldown_ops: 32 }
+    }
+}
+
 /// Scheme tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchemeConfig {
@@ -107,13 +192,44 @@ pub struct SchemeConfig {
     /// (true HLE-in-RTM nesting) instead of the read-and-check
     /// workaround the paper had to use on Haswell.
     pub scm_true_nesting: bool,
+    /// Abort-adaptive retry backoff, if enabled (see [`BackoffPolicy`]).
+    /// The paper's configuration retries immediately.
+    pub backoff: Option<BackoffPolicy>,
+    /// Extend the §7 status tuning to the HLE and SCM retry loops: an
+    /// abort whose status says retrying is hopeless (capacity, explicit
+    /// no-retry) skips the remaining speculative budget instead of
+    /// burning it on attempts fated to fail the same way.
+    pub capacity_skips_retries: bool,
+    /// Speculation circuit breaker, if enabled (see [`BreakerConfig`]).
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl SchemeConfig {
     /// The paper's configuration: 10 retries, SLR status tuning on,
-    /// Haswell-faithful SCM workaround.
+    /// Haswell-faithful SCM workaround, no backoff, no breaker —
+    /// byte-for-byte the behaviour every figure of the paper measures.
     pub fn paper() -> Self {
-        SchemeConfig { max_retries: 10, slr_status_tuning: true, scm_true_nesting: false }
+        SchemeConfig {
+            max_retries: 10,
+            slr_status_tuning: true,
+            scm_true_nesting: false,
+            backoff: None,
+            capacity_skips_retries: false,
+            breaker: None,
+        }
+    }
+
+    /// The hardened configuration: the paper's settings plus bounded
+    /// exponential backoff with jitter, capacity-abort fast-pathing, and
+    /// the speculation circuit breaker. This is what the chaos harness
+    /// runs under injected fault storms.
+    pub fn hardened() -> Self {
+        SchemeConfig {
+            backoff: Some(BackoffPolicy::default_policy()),
+            capacity_skips_retries: true,
+            breaker: Some(BreakerConfig::default_policy()),
+            ..Self::paper()
+        }
     }
 }
 
@@ -145,6 +261,71 @@ pub struct Scheme {
     /// Auxiliary serializing locks: empty for non-SCM schemes, one for
     /// classic SCM, several for grouped SCM.
     aux: Vec<Arc<dyn RawLock>>,
+    /// Shared circuit-breaker state (used only when `cfg.breaker` is set).
+    breaker: BreakerState,
+}
+
+/// Cross-thread speculation circuit-breaker state.
+///
+/// All counters are plain atomics shared by every strand executing under
+/// the scheme. Under a zero-lag window the simulation serializes all
+/// updates, so breaker decisions are deterministic there; under relaxed
+/// windows the window boundaries are approximate, which is fine — the
+/// breaker is a load-shedding heuristic, not a correctness mechanism.
+#[derive(Debug, Default)]
+struct BreakerState {
+    /// Speculative attempts observed in the current window.
+    attempts: AtomicU64,
+    /// Aborted attempts observed in the current window.
+    aborts: AtomicU64,
+    /// Operations left to serve non-speculatively; `> 0` means open.
+    open_remaining: AtomicU64,
+    /// Total number of times the breaker has tripped.
+    trips: AtomicU64,
+}
+
+impl BreakerState {
+    /// If the breaker is open, consume one cooldown op and report `true`
+    /// (the caller must run non-speculatively). Closing re-arms a fresh
+    /// evaluation window.
+    fn consume_if_open(&self) -> bool {
+        let mut cur = self.open_remaining.load(Ordering::SeqCst);
+        while cur > 0 {
+            match self.open_remaining.compare_exchange(
+                cur,
+                cur - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    if cur == 1 {
+                        // Last cooldown op: re-probe speculation with a
+                        // clean window.
+                        self.attempts.store(0, Ordering::SeqCst);
+                        self.aborts.store(0, Ordering::SeqCst);
+                    }
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+        false
+    }
+
+    /// Record one completed operation's speculative attempt counts and
+    /// trip the breaker if the window's abort rate crosses the threshold.
+    fn record(&self, cfg: &BreakerConfig, attempts: u64, aborts: u64) {
+        let total = self.attempts.fetch_add(attempts, Ordering::SeqCst) + attempts;
+        let failed = self.aborts.fetch_add(aborts, Ordering::SeqCst) + aborts;
+        if total >= u64::from(cfg.window_attempts) {
+            if failed.saturating_mul(1000) >= u64::from(cfg.trip_permille) * total {
+                self.trips.fetch_add(1, Ordering::SeqCst);
+                self.open_remaining.store(u64::from(cfg.cooldown_ops), Ordering::SeqCst);
+            }
+            self.attempts.store(0, Ordering::SeqCst);
+            self.aborts.store(0, Ordering::SeqCst);
+        }
+    }
 }
 
 impl fmt::Debug for Scheme {
@@ -161,20 +342,26 @@ impl Scheme {
     /// Wrap `main` in the given scheme. SCM schemes require `aux` (the
     /// paper recommends a fair lock; see [`SchemeKind::uses_aux`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an SCM scheme is requested without an auxiliary lock.
+    /// [`SchemeError::MissingAuxLock`] if an SCM scheme is requested
+    /// without an auxiliary lock.
     pub fn new(
         kind: SchemeKind,
         cfg: SchemeConfig,
         main: Arc<dyn RawLock>,
         aux: Option<Arc<dyn RawLock>>,
-    ) -> Self {
-        assert!(
-            !kind.uses_aux() || aux.is_some(),
-            "{kind} requires an auxiliary lock"
-        );
-        Scheme { kind, cfg, main, aux: aux.into_iter().collect() }
+    ) -> Result<Self, SchemeError> {
+        if kind.uses_aux() && aux.is_none() {
+            return Err(SchemeError::MissingAuxLock(kind));
+        }
+        Ok(Scheme {
+            kind,
+            cfg,
+            main,
+            aux: aux.into_iter().collect(),
+            breaker: BreakerState::default(),
+        })
     }
 
     /// Build a grouped SCM scheme with one auxiliary lock per conflict
@@ -182,16 +369,30 @@ impl Scheme {
     /// `aux[hash(conflict line) % groups]`, so conflicts on unrelated
     /// data do not serialize with each other.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `aux` is empty.
+    /// [`SchemeError::NoAuxLocks`] if `aux` is empty.
     pub fn new_grouped(
         cfg: SchemeConfig,
         main: Arc<dyn RawLock>,
         aux: Vec<Arc<dyn RawLock>>,
-    ) -> Self {
-        assert!(!aux.is_empty(), "grouped SCM needs at least one auxiliary lock");
-        Scheme { kind: SchemeKind::GroupedScm, cfg, main, aux }
+    ) -> Result<Self, SchemeError> {
+        if aux.is_empty() {
+            return Err(SchemeError::NoAuxLocks);
+        }
+        Ok(Scheme {
+            kind: SchemeKind::GroupedScm,
+            cfg,
+            main,
+            aux,
+            breaker: BreakerState::default(),
+        })
+    }
+
+    /// How many times the speculation circuit breaker has tripped since
+    /// construction (always zero without [`SchemeConfig::breaker`]).
+    pub fn breaker_trips(&self) -> u64 {
+        self.breaker.trips.load(Ordering::SeqCst)
     }
 
     /// The scheme kind.
@@ -227,17 +428,66 @@ impl Scheme {
                 s.counters.record(AttemptKind::NonSpeculative);
                 ExecOutcome { value, nonspeculative: true, attempts: 1 }
             }
-            SchemeKind::Hle => self.execute_hle(s, &mut body, 1),
-            SchemeKind::HleRetries => self.execute_hle(s, &mut body, self.cfg.max_retries),
-            SchemeKind::HleScm => self.execute_scm(s, &mut body, Subscription::Eager),
-            SchemeKind::OptSlr => self.execute_slr(s, &mut body),
-            SchemeKind::SlrScm => self.execute_scm(s, &mut body, Subscription::Lazy),
-            SchemeKind::GroupedScm => self.execute_scm(s, &mut body, Subscription::Eager),
+            _ => match &self.cfg.breaker {
+                None => self.execute_speculative(s, &mut body),
+                Some(bc) => {
+                    if self.breaker.consume_if_open() {
+                        // Breaker open: shed speculation entirely. Taking
+                        // the main lock is always safe (it dooms whatever
+                        // speculation is still in flight, which is exactly
+                        // the storm the breaker is shedding).
+                        let value = self.run_locked(s, &mut body);
+                        s.counters.record(AttemptKind::NonSpeculative);
+                        return ExecOutcome { value, nonspeculative: true, attempts: 1 };
+                    }
+                    let outcome = self.execute_speculative(s, &mut body);
+                    let aborted = u64::from(outcome.attempts.saturating_sub(1));
+                    let speculative =
+                        if outcome.nonspeculative { aborted } else { u64::from(outcome.attempts) };
+                    if speculative > 0 {
+                        self.breaker.record(bc, speculative, aborted);
+                    }
+                    outcome
+                }
+            },
+        }
+    }
+
+    /// Dispatch to the speculative scheme implementations.
+    fn execute_speculative<R>(
+        &self,
+        s: &mut Strand,
+        body: &mut impl FnMut(&mut Strand) -> TxResult<R>,
+    ) -> ExecOutcome<R> {
+        match self.kind {
+            SchemeKind::Hle => self.execute_hle(s, body, 1),
+            SchemeKind::HleRetries => self.execute_hle(s, body, self.cfg.max_retries),
+            SchemeKind::HleScm => self.execute_scm(s, body, Subscription::Eager),
+            SchemeKind::OptSlr => self.execute_slr(s, body),
+            SchemeKind::SlrScm => self.execute_scm(s, body, Subscription::Lazy),
+            SchemeKind::GroupedScm => self.execute_scm(s, body, Subscription::Eager),
+            SchemeKind::NoLock | SchemeKind::Standard => {
+                unreachable!("non-speculative kinds handled by execute")
+            }
+        }
+    }
+
+    /// Burn the configured backoff delay before retry number `attempt`.
+    fn backoff_wait(&self, s: &mut Strand, attempt: u32) {
+        if let Some(bp) = &self.cfg.backoff {
+            let delay = bp.delay(attempt, &mut s.retry_rng);
+            if delay > 0 {
+                s.work(delay).expect("backoff wait outside a transaction cannot abort");
+            }
         }
     }
 
     /// Acquire the main lock, run the body non-speculatively, release.
-    fn run_locked<R>(&self, s: &mut Strand, body: &mut impl FnMut(&mut Strand) -> TxResult<R>) -> R {
+    fn run_locked<R>(
+        &self,
+        s: &mut Strand,
+        body: &mut impl FnMut(&mut Strand) -> TxResult<R>,
+    ) -> R {
         self.main.acquire(s).expect("non-speculative acquire cannot abort");
         let value = body(s).expect("non-speculative body cannot abort");
         self.main.release(s).expect("non-speculative release cannot abort");
@@ -269,6 +519,7 @@ impl Scheme {
         let retries_mode = budget > 1;
         let mut attempts = 0u32;
         let mut first_arrival = true;
+        let mut hopeless = false;
         loop {
             // Figure 1's outer test-and-test loop: unfair locks (and any
             // lock under Intel's retry guideline) wait until the lock
@@ -290,12 +541,22 @@ impl Scheme {
                     s.counters.record(AttemptKind::Speculative);
                     return ExecOutcome { value, nonspeculative: false, attempts };
                 }
-                Err(_status) => {
+                Err(status) => {
                     s.counters.record(AttemptKind::Aborted);
+                    // Abort-cause adaptation: a capacity (or other
+                    // no-retry) abort will fail identically on every
+                    // retry — skip straight to the fallback.
+                    if self.cfg.capacity_skips_retries && !status.retry_recommended {
+                        hopeless = true;
+                    }
                 }
             }
 
-            if attempts >= budget {
+            if attempts < budget && !hopeless {
+                self.backoff_wait(s, attempts);
+            }
+
+            if attempts >= budget || hopeless {
                 // HLE's hardware fallback: re-execute the acquisition
                 // non-transactionally. For TTAS this is a single TAS that
                 // may fail (then we loop: spin and re-elide — Figure 1);
@@ -352,6 +613,7 @@ impl Scheme {
                         s.counters.record(AttemptKind::NonSpeculative);
                         return ExecOutcome { value, nonspeculative: true, attempts: attempts + 1 };
                     }
+                    self.backoff_wait(s, attempts);
                 }
             }
         }
@@ -369,7 +631,16 @@ impl Scheme {
         // The group is chosen by the *first* abort's conflict location and
         // then kept for the whole operation (at most one auxiliary lock is
         // ever held, so groups cannot deadlock against each other).
-        let mut aux: &Arc<dyn RawLock> = self.aux.first().expect("SCM requires an auxiliary lock");
+        //
+        // Construction ([`Scheme::new`] / [`Scheme::new_grouped`]) rejects
+        // SCM schemes without auxiliary locks, so this is unreachable in
+        // practice; degrade to plain locking rather than panic if an
+        // impossible state is ever reached.
+        let Some(mut aux) = self.aux.first() else {
+            let value = self.run_locked(s, body);
+            s.counters.record(AttemptKind::NonSpeculative);
+            return ExecOutcome { value, nonspeculative: true, attempts: 1 };
+        };
         let mut aux_owner = false;
         let mut retries = 0u32;
         let mut attempts = 0u32;
@@ -434,8 +705,7 @@ impl Scheme {
                     let group = status
                         .conflict_line
                         .map(|l| {
-                            (l as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize
-                                % self.aux.len()
+                            (l as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize % self.aux.len()
                         })
                         .unwrap_or(0);
                     aux = &self.aux[group];
@@ -445,7 +715,12 @@ impl Scheme {
             } else {
                 retries += 1;
             }
-            if retries >= self.cfg.max_retries {
+            // Abort-cause adaptation: capacity/no-retry aborts will fail
+            // identically on every retry. We hold the aux lock here, so
+            // giving up early preserves the SCM invariant (only the aux
+            // holder takes the main lock).
+            let hopeless = self.cfg.capacity_skips_retries && !status.retry_recommended;
+            if retries >= self.cfg.max_retries || hopeless {
                 // The auxiliary-lock holder gives up: it is the only
                 // thread that may acquire the main lock, so this cannot
                 // deadlock and guarantees progress (paper §6).
@@ -453,6 +728,7 @@ impl Scheme {
                 s.counters.record(AttemptKind::NonSpeculative);
                 break ExecOutcome { value, nonspeculative: true, attempts: attempts + 1 };
             }
+            self.backoff_wait(s, attempts);
         };
         if aux_owner {
             aux.release(s).expect("aux release cannot abort");

@@ -1,0 +1,152 @@
+//! Starvation watchdog: caller-owned liveness accounting.
+//!
+//! The chaos harness needs to assert that *no individual operation*
+//! starves under injected faults — aggregate throughput can look healthy
+//! while one thread spins forever. A [`Watchdog`] records, per completed
+//! operation, how many attempts it took and how many simulated cycles
+//! elapsed; it tracks the worst case, flags budget violations, and can
+//! report completion-time percentiles for degradation curves.
+//!
+//! The watchdog is plain data owned by the measuring thread (merge
+//! per-thread instances afterwards with [`Watchdog::merge`]); it adds no
+//! synchronization to the measured path.
+
+/// Per-operation attempt/latency accounting with a starvation budget.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    /// Attempts above this count a violation (0 disables the check).
+    attempt_budget: u32,
+    /// Worst attempts observed for a single operation.
+    max_attempts: u32,
+    /// Operations that exceeded the attempt budget.
+    violations: u64,
+    /// Total attempts across all recorded operations.
+    total_attempts: u64,
+    /// Completion time (cycles) of every recorded operation.
+    cycles: Vec<u64>,
+}
+
+impl Watchdog {
+    /// A watchdog flagging operations that need more than
+    /// `attempt_budget` attempts (0 disables violation counting).
+    pub fn new(attempt_budget: u32) -> Self {
+        Watchdog {
+            attempt_budget,
+            max_attempts: 0,
+            violations: 0,
+            total_attempts: 0,
+            cycles: Vec::new(),
+        }
+    }
+
+    /// Record one completed operation: how many attempts it took and how
+    /// many simulated cycles elapsed from start to completion.
+    pub fn record(&mut self, attempts: u32, cycles: u64) {
+        self.max_attempts = self.max_attempts.max(attempts);
+        self.total_attempts += u64::from(attempts);
+        if self.attempt_budget > 0 && attempts > self.attempt_budget {
+            self.violations += 1;
+        }
+        self.cycles.push(cycles);
+    }
+
+    /// Operations recorded so far.
+    pub fn operations(&self) -> u64 {
+        self.cycles.len() as u64
+    }
+
+    /// Worst attempts observed for a single operation.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Operations that exceeded the attempt budget.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Mean attempts per operation (0.0 when nothing recorded).
+    pub fn mean_attempts(&self) -> f64 {
+        if self.cycles.is_empty() {
+            0.0
+        } else {
+            self.total_attempts as f64 / self.cycles.len() as f64
+        }
+    }
+
+    /// The `p`-th percentile (0..=100, nearest-rank) of operation
+    /// completion cycles; `None` when nothing was recorded.
+    pub fn percentile(&self, p: u32) -> Option<u64> {
+        if self.cycles.is_empty() {
+            return None;
+        }
+        let mut sorted = self.cycles.clone();
+        sorted.sort_unstable();
+        let p = p.min(100) as usize;
+        // Nearest-rank: ceil(p/100 * n), clamped to [1, n], as an index.
+        let rank = (p * sorted.len()).div_ceil(100).max(1);
+        Some(sorted[rank - 1])
+    }
+
+    /// Fold another watchdog (e.g. a different thread's) into this one.
+    /// The attempt budget of `self` is kept; `other`'s violations were
+    /// judged against its own budget.
+    pub fn merge(&mut self, other: &Watchdog) {
+        self.max_attempts = self.max_attempts.max(other.max_attempts);
+        self.violations += other.violations;
+        self.total_attempts += other.total_attempts;
+        self.cycles.extend_from_slice(&other.cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_max_and_violations() {
+        let mut w = Watchdog::new(5);
+        w.record(1, 100);
+        w.record(7, 900);
+        w.record(3, 300);
+        assert_eq!(w.operations(), 3);
+        assert_eq!(w.max_attempts(), 7);
+        assert_eq!(w.violations(), 1);
+        assert!((w.mean_attempts() - 11.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_budget_disables_violations() {
+        let mut w = Watchdog::new(0);
+        w.record(1000, 1);
+        assert_eq!(w.violations(), 0);
+        assert_eq!(w.max_attempts(), 1000);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut w = Watchdog::new(0);
+        for c in [50, 10, 40, 20, 30] {
+            w.record(1, c);
+        }
+        assert_eq!(w.percentile(0), Some(10));
+        assert_eq!(w.percentile(50), Some(30));
+        assert_eq!(w.percentile(90), Some(50));
+        assert_eq!(w.percentile(100), Some(50));
+        assert_eq!(Watchdog::new(0).percentile(50), None);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Watchdog::new(2);
+        a.record(1, 10);
+        a.record(3, 30);
+        let mut b = Watchdog::new(2);
+        b.record(4, 40);
+        a.merge(&b);
+        assert_eq!(a.operations(), 3);
+        assert_eq!(a.max_attempts(), 4);
+        assert_eq!(a.violations(), 2);
+        assert_eq!(a.percentile(100), Some(40));
+    }
+}

@@ -8,7 +8,13 @@ use std::sync::Arc;
 
 #[test]
 fn speculative_success_costs_one_attempt() {
-    for kind in [SchemeKind::Hle, SchemeKind::HleRetries, SchemeKind::HleScm, SchemeKind::OptSlr, SchemeKind::SlrScm] {
+    for kind in [
+        SchemeKind::Hle,
+        SchemeKind::HleRetries,
+        SchemeKind::HleScm,
+        SchemeKind::OptSlr,
+        SchemeKind::SlrScm,
+    ] {
         let mut b = MemoryBuilder::new();
         let x = b.alloc_isolated(0);
         let scheme = make_scheme(kind, LockKind::Ttas, SchemeConfig::paper(), &mut b, 1);
@@ -116,12 +122,15 @@ fn scm_releases_aux_lock_on_both_paths() {
         let x = b.alloc_isolated(0);
         let aux = make_lock(LockKind::Mcs, &mut b, 1);
         let main = make_lock(LockKind::Ttas, &mut b, 1);
-        let scheme = Arc::new(Scheme::new(
-            SchemeKind::HleScm,
-            SchemeConfig::paper(),
-            Arc::clone(&main),
-            Some(Arc::clone(&aux)),
-        ));
+        let scheme = Arc::new(
+            Scheme::new(
+                SchemeKind::HleScm,
+                SchemeConfig::paper(),
+                Arc::clone(&main),
+                Some(Arc::clone(&aux)),
+            )
+            .expect("aux supplied"),
+        );
         let mem = b.freeze(1);
         let cfg = HtmConfig::deterministic().with_spurious(spurious, 0.0);
         harness::run(1, 0, cfg, 1, mem, move |s| {
@@ -172,7 +181,8 @@ fn hle_retries_over_fair_lock_waits_for_drain() {
     let threads = 4;
     let mut b = MemoryBuilder::new();
     let x = b.alloc_isolated(0);
-    let scheme = make_scheme(SchemeKind::HleRetries, LockKind::Mcs, SchemeConfig::paper(), &mut b, threads);
+    let scheme =
+        make_scheme(SchemeKind::HleRetries, LockKind::Mcs, SchemeConfig::paper(), &mut b, threads);
     let mem = b.freeze(threads);
     let (_, mem, _) = harness::run(threads, 0, HtmConfig::deterministic(), 5, mem, move |s| {
         for _ in 0..50 {

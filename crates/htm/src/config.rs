@@ -1,5 +1,6 @@
 //! Configuration of the simulated HTM.
 
+use crate::fault::HtmFaults;
 use elision_sim::CostModel;
 
 /// Tunables of the simulated transactional memory.
@@ -19,6 +20,9 @@ pub struct HtmConfig {
     pub spurious_access: f64,
     /// Cycle costs for simulated events.
     pub cost: CostModel,
+    /// Injected HTM-level faults (storms, squeezes, hot lines). The
+    /// default injects nothing; see [`HtmFaults`].
+    pub faults: HtmFaults,
 }
 
 impl HtmConfig {
@@ -31,6 +35,7 @@ impl HtmConfig {
             spurious_begin: 0.002,
             spurious_access: 0.00002,
             cost: CostModel::haswell(),
+            faults: HtmFaults::none(),
         }
     }
 
@@ -57,6 +62,12 @@ impl HtmConfig {
     /// Override the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Attach HTM-level fault injection (see [`HtmFaults`]).
+    pub fn with_faults(mut self, faults: HtmFaults) -> Self {
+        self.faults = faults;
         self
     }
 }

@@ -56,11 +56,13 @@
 
 mod abort;
 mod config;
+mod fault;
 mod memory;
 mod strand;
 
 pub use abort::{codes, Abort, AbortReason, AbortStatus, TxResult, TxnStats};
 pub use config::HtmConfig;
+pub use fault::{AbortStorm, CapacitySqueeze, HotLine, HtmFaults};
 pub use memory::{LineId, Memory, MemoryBuilder, VarId};
 pub use strand::Strand;
 
@@ -68,7 +70,7 @@ pub use strand::Strand;
 /// [`Strand`] over the same memory, and run `body` on all of them.
 pub mod harness {
     use crate::{HtmConfig, Memory, Strand};
-    use elision_sim::SimBuilder;
+    use elision_sim::{FaultPlan, FaultStats, SimBuilder};
     use std::sync::Arc;
 
     /// Run `body` on `threads` simulated strands sharing `mem`.
@@ -107,11 +109,32 @@ pub mod harness {
         R: Send + 'static,
         F: Fn(&mut Strand) -> R + Clone + Send + Sync + 'static,
     {
-        let out = SimBuilder::new(threads).window(window).run(move |ctx| {
+        let (results, makespan, _) =
+            run_arc_faulted(threads, window, cfg, seed, FaultPlan::none(), mem, body);
+        (results, makespan)
+    }
+
+    /// Like [`run_arc`], but with a scheduler-level [`FaultPlan`] attached
+    /// (simulated preemption and clock jitter). Also returns the
+    /// per-thread injected-fault statistics (empty for an inactive plan).
+    pub fn run_arc_faulted<R, F>(
+        threads: usize,
+        window: u64,
+        cfg: HtmConfig,
+        seed: u64,
+        plan: FaultPlan,
+        mem: Arc<Memory>,
+        body: F,
+    ) -> (Vec<R>, u64, Vec<FaultStats>)
+    where
+        R: Send + 'static,
+        F: Fn(&mut Strand) -> R + Clone + Send + Sync + 'static,
+    {
+        let out = SimBuilder::new(threads).window(window).faults(plan).run(move |ctx| {
             let mut strand = Strand::new(Arc::clone(&mem), ctx.handle, cfg, seed);
             body(&mut strand)
         });
-        (out.results, out.makespan)
+        (out.results, out.makespan, out.fault_stats)
     }
 }
 
@@ -515,8 +538,11 @@ mod tests {
         });
         // Whatever interleaving resulted, T1 never committed X=0,Y=1.
         assert_ne!(results[0], "committed-consistent-inconsistent");
-        assert!(results[0].starts_with("aborted") || results[0] == "observed-inconsistent-but-aborted",
-            "got {}", results[0]);
+        assert!(
+            results[0].starts_with("aborted") || results[0] == "observed-inconsistent-but-aborted",
+            "got {}",
+            results[0]
+        );
     }
 
     #[test]
@@ -558,5 +584,101 @@ mod tests {
             }
         });
         assert_eq!(results[0], Some(AbortReason::Conflict));
+    }
+
+    #[test]
+    fn abort_storm_fires_only_inside_window() {
+        let (mem, x) = one_var_mem(1, 0);
+        // Storm covering all of time at rate 1000/1000: every access aborts.
+        let cfg = HtmConfig::deterministic().with_faults(HtmFaults::none().with_storm(
+            u64::MAX,
+            u64::MAX,
+            1000,
+        ));
+        harness::run(1, 0, cfg, 1, mem, move |s| {
+            s.begin();
+            s.load(x).unwrap_err();
+            assert_eq!(s.last_abort().reason, AbortReason::Spurious);
+            assert!(s.last_abort().retry_recommended);
+        });
+
+        // Zero-duration storm: never fires, behaves like the baseline.
+        let (mem, x) = one_var_mem(1, 0);
+        let cfg =
+            HtmConfig::deterministic().with_faults(HtmFaults::none().with_storm(u64::MAX, 0, 1000));
+        harness::run(1, 0, cfg, 1, mem, move |s| {
+            s.begin();
+            for _ in 0..50 {
+                s.load(x).unwrap();
+            }
+            s.commit().unwrap();
+        });
+    }
+
+    #[test]
+    fn capacity_squeeze_shrinks_budget_inside_window() {
+        let mut b = MemoryBuilder::new().words_per_line(1);
+        let vars = b.alloc_array(8, 0);
+        let mem = b.freeze(1);
+        // Configured budget is generous; the (always-open) squeeze caps
+        // reads at two lines.
+        let cfg = HtmConfig::deterministic()
+            .with_capacity(64, 64)
+            .with_faults(HtmFaults::none().with_squeeze(u64::MAX, u64::MAX, 2, 2));
+        harness::run(1, 0, cfg, 1, mem, move |s| {
+            s.begin();
+            s.load(VarId::from_index(vars.index())).unwrap();
+            s.load(VarId::from_index(vars.index() + 1)).unwrap();
+            s.load(VarId::from_index(vars.index() + 2)).unwrap_err();
+            assert_eq!(s.last_abort().reason, AbortReason::Capacity);
+        });
+    }
+
+    #[test]
+    fn hot_line_injects_persistent_conflicts() {
+        let (mem, x) = one_var_mem(1, 0);
+        let hot = mem.line_of(x).0;
+        let cfg =
+            HtmConfig::deterministic().with_faults(HtmFaults::none().with_hot_line(hot, 1000));
+        harness::run(1, 0, cfg, 1, mem, move |s| {
+            s.begin();
+            s.load(x).unwrap_err();
+            assert_eq!(s.last_abort().reason, AbortReason::Conflict);
+            assert_eq!(s.last_abort().conflict_line, Some(hot));
+            assert!(s.last_abort().retry_recommended);
+        });
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let run_once = || {
+            let mut b = MemoryBuilder::new();
+            let counter = b.alloc(0);
+            let mem = b.freeze(2);
+            let cfg = HtmConfig::deterministic()
+                .with_faults(HtmFaults::none().with_storm(5_000, 500, 400).with_hot_line(0, 50));
+            let (results, mem, makespan) = harness::run(2, 0, cfg, 42, mem, move |s| {
+                let mut commits = 0u64;
+                for _ in 0..50 {
+                    loop {
+                        let done = s.attempt(|s| {
+                            let v = s.load(counter)?;
+                            s.store(counter, v + 1)
+                        });
+                        if done.is_ok() {
+                            commits += 1;
+                            break;
+                        }
+                    }
+                }
+                (commits, s.stats.aborts())
+            });
+            (results, mem.read_direct(counter), makespan)
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "same seeds must replay the same faulted run");
+        assert_eq!(a.1, 100, "all increments must land despite faults");
+        assert!(a.0.iter().any(|&(_, aborts)| aborts > 0), "faults must bite");
     }
 }

@@ -134,7 +134,7 @@ impl MemoryBuilder {
     /// Pad the allocation cursor to the next line boundary, so the next
     /// allocation starts a fresh line.
     pub fn pad_to_line(&mut self) {
-        while self.values.len() % self.words_per_line != 0 {
+        while !self.values.len().is_multiple_of(self.words_per_line) {
             self.values.push(0);
         }
     }
@@ -157,7 +157,7 @@ impl MemoryBuilder {
     /// Panics if `threads` is zero or exceeds 64 (the conflict-bitmap
     /// width).
     pub fn freeze(self, threads: usize) -> Memory {
-        assert!(threads >= 1 && threads <= 64, "1..=64 simulated threads supported");
+        assert!((1..=64).contains(&threads), "1..=64 simulated threads supported");
         let wpl = self.words_per_line;
         let n_lines = self.values.len().div_ceil(wpl).max(1);
         Memory {
@@ -324,9 +324,9 @@ impl Memory {
     /// Test-visible: true if any reader/writer bits remain set anywhere.
     /// After a quiescent point (no live transactions) this must be false.
     pub fn any_residual_bits(&self) -> bool {
-        self.lines.iter().any(|l| {
-            l.readers.load(Ordering::SeqCst) != 0 || l.writers.load(Ordering::SeqCst) != 0
-        })
+        self.lines
+            .iter()
+            .any(|l| l.readers.load(Ordering::SeqCst) != 0 || l.writers.load(Ordering::SeqCst) != 0)
     }
 }
 

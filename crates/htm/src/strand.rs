@@ -58,6 +58,10 @@ pub struct Strand {
     /// operation mixes). Separate from the internal spurious-abort stream
     /// so workloads draw identical sequences across schemes.
     pub rng: DetRng,
+    /// Deterministic RNG stream reserved for retry/backoff jitter in the
+    /// elision schemes. Separate from both the workload and HTM streams so
+    /// enabling backoff never perturbs workload draws or abort injection.
+    pub retry_rng: DetRng,
     /// Transaction event statistics.
     pub stats: TxnStats,
     /// The paper's S/A/N operation counters, recorded by elision schemes.
@@ -87,6 +91,7 @@ impl Strand {
             last_abort: AbortStatus::conflict(),
             htm_rng: DetRng::new(seed, 1_000_000 + tid as u64),
             rng: DetRng::new(seed, tid as u64),
+            retry_rng: DetRng::new(seed, 2_000_000 + tid as u64),
             stats: TxnStats::default(),
             counters: OpCounters::new(),
             trace: None,
@@ -333,11 +338,51 @@ impl Strand {
                 return Err(Abort);
             }
         }
+        // Injected abort storm: inside its window, transactional accesses
+        // abort spuriously at the configured rate. The draw only happens
+        // while the window is open, so fault-free runs (and quiet phases
+        // of faulted runs) consume no extra RNG state.
+        if let Some(storm) = self.cfg.faults.storm {
+            if storm.active(self.sim.now()) && self.htm_rng.below(1000) < u64::from(storm.permille)
+            {
+                self.unwind(AbortStatus::spurious());
+                return Err(Abort);
+            }
+        }
         if self.cfg.spurious_access > 0.0 && self.htm_rng.chance(self.cfg.spurious_access) {
             self.unwind(AbortStatus::spurious());
             return Err(Abort);
         }
         Ok(())
+    }
+
+    /// The read-set line budget currently in force (the configured budget,
+    /// shrunk while an injected capacity squeeze's window is open).
+    fn read_budget(&self) -> usize {
+        match self.cfg.faults.squeeze {
+            Some(sq) if sq.active(self.sim.now()) => self.cfg.read_set_lines.min(sq.read_lines),
+            _ => self.cfg.read_set_lines,
+        }
+    }
+
+    /// The write-set line budget currently in force.
+    fn write_budget(&self) -> usize {
+        match self.cfg.faults.squeeze {
+            Some(sq) if sq.active(self.sim.now()) => self.cfg.write_set_lines.min(sq.write_lines),
+            _ => self.cfg.write_set_lines,
+        }
+    }
+
+    /// Injected hot line: registering it conflicts with the configured
+    /// probability, modelling a line that keeps bouncing between cores.
+    /// Returns `true` when the access must abort.
+    fn hot_line_conflict(&mut self, line: LineId) -> bool {
+        match self.cfg.faults.hot {
+            Some(hot) if hot.line == line.0 && hot.permille > 0 => {
+                self.htm_rng.below(1000) < u64::from(hot.permille)
+            }
+            _ => false,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -347,14 +392,20 @@ impl Strand {
     /// Register `line` in the read set (requestor wins: dooms speculative
     /// writers). Unwinds with a capacity abort when the read set is full.
     fn track_read(&mut self, line: LineId) -> TxResult<()> {
-        let txn = self.txn.as_mut().expect("track_read outside txn");
+        let budget = self.read_budget();
+        let txn = self.txn.as_ref().expect("track_read outside txn");
         if txn.read_lines.contains(&line.0) {
             return Ok(());
         }
-        if txn.read_lines.len() >= self.cfg.read_set_lines {
+        if txn.read_lines.len() >= budget {
             self.unwind(AbortStatus::capacity());
             return Err(Abort);
         }
+        if self.hot_line_conflict(line) {
+            self.unwind(AbortStatus::conflict_at(line.0));
+            return Err(Abort);
+        }
+        let txn = self.txn.as_mut().expect("track_read outside txn");
         txn.read_lines.insert(line.0);
         self.mem.set_reader(line, self.tid);
         let writers = self.mem.writers_of(line);
@@ -365,14 +416,20 @@ impl Strand {
     /// Register `line` in the write set (dooming peer readers *and*
     /// writers). Unwinds with a capacity abort when the write set is full.
     fn track_write(&mut self, line: LineId) -> TxResult<()> {
-        let txn = self.txn.as_mut().expect("track_write outside txn");
+        let budget = self.write_budget();
+        let txn = self.txn.as_ref().expect("track_write outside txn");
         if txn.write_lines.contains(&line.0) {
             return Ok(());
         }
-        if txn.write_lines.len() >= self.cfg.write_set_lines {
+        if txn.write_lines.len() >= budget {
             self.unwind(AbortStatus::capacity());
             return Err(Abort);
         }
+        if self.hot_line_conflict(line) {
+            self.unwind(AbortStatus::conflict_at(line.0));
+            return Err(Abort);
+        }
+        let txn = self.txn.as_mut().expect("track_write outside txn");
         txn.write_lines.insert(line.0);
         self.mem.set_writer(line, self.tid);
         let peers = self.mem.readers_of(line) | self.mem.writers_of(line);

@@ -84,8 +84,8 @@ proptest! {
                 apply_model(&mut model, st);
             }
         }
-        for i in 0..VARS {
-            prop_assert_eq!(mem.read_direct(VarId::from_index(i as u32)), model[i]);
+        for (i, &expected) in model.iter().enumerate() {
+            prop_assert_eq!(mem.read_direct(VarId::from_index(i as u32)), expected);
         }
         prop_assert!(!mem.any_residual_bits());
     }

@@ -42,8 +42,7 @@ impl ClhLock {
 
     fn with_adaptation(b: &mut MemoryBuilder, threads: usize, adapted: bool) -> Self {
         // Node `threads` is the initial tail node, unlocked.
-        let node_locked: Vec<VarId> =
-            (0..=threads).map(|_| b.alloc_isolated(UNLOCKED)).collect();
+        let node_locked: Vec<VarId> = (0..=threads).map(|_| b.alloc_isolated(UNLOCKED)).collect();
         ClhLock {
             tail: b.alloc_isolated(threads as u64),
             node_locked,
@@ -156,29 +155,25 @@ mod tests {
 
     #[test]
     fn provides_mutual_exclusion() {
-        let (count, _) =
-            testutil::mutex_stress::<ClhLock, _>(4, 200, 0, |b, t| ClhLock::new(b, t));
+        let (count, _) = testutil::mutex_stress::<ClhLock, _>(4, 200, 0, ClhLock::new);
         assert_eq!(count, 800);
     }
 
     #[test]
     fn provides_mutual_exclusion_with_lag_window() {
-        let (count, _) =
-            testutil::mutex_stress::<ClhLock, _>(8, 100, 32, |b, t| ClhLock::new(b, t));
+        let (count, _) = testutil::mutex_stress::<ClhLock, _>(8, 100, 32, ClhLock::new);
         assert_eq!(count, 800);
     }
 
     #[test]
     fn unadapted_provides_mutual_exclusion_too() {
-        let (count, _) = testutil::mutex_stress::<ClhLock, _>(4, 100, 0, |b, t| {
-            ClhLock::new_unadapted(b, t)
-        });
+        let (count, _) = testutil::mutex_stress::<ClhLock, _>(4, 100, 0, ClhLock::new_unadapted);
         assert_eq!(count, 400);
     }
 
     #[test]
     fn adapted_solo_elision_commits() {
-        assert!(testutil::solo_elided_roundtrip(|b, t| ClhLock::new(b, t)));
+        assert!(testutil::solo_elided_roundtrip(ClhLock::new));
     }
 
     #[test]

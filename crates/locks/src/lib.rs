@@ -134,12 +134,7 @@ pub(crate) mod testutil {
     /// `ops` non-atomic increments of a shared counter inside the lock.
     /// Returns the final counter value (must equal `threads * ops`) and
     /// the memory.
-    pub fn mutex_stress<L, F>(
-        threads: usize,
-        ops: u64,
-        window: u64,
-        build: F,
-    ) -> (u64, Arc<Memory>)
+    pub fn mutex_stress<L, F>(threads: usize, ops: u64, window: u64, build: F) -> (u64, Arc<Memory>)
     where
         L: super::RawLock + 'static,
         F: FnOnce(&mut MemoryBuilder, usize) -> L,

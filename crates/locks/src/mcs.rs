@@ -130,21 +130,19 @@ mod tests {
 
     #[test]
     fn provides_mutual_exclusion() {
-        let (count, _) =
-            testutil::mutex_stress::<McsLock, _>(4, 200, 0, |b, t| McsLock::new(b, t));
+        let (count, _) = testutil::mutex_stress::<McsLock, _>(4, 200, 0, McsLock::new);
         assert_eq!(count, 800);
     }
 
     #[test]
     fn provides_mutual_exclusion_with_lag_window() {
-        let (count, _) =
-            testutil::mutex_stress::<McsLock, _>(8, 100, 32, |b, t| McsLock::new(b, t));
+        let (count, _) = testutil::mutex_stress::<McsLock, _>(8, 100, 32, McsLock::new);
         assert_eq!(count, 800);
     }
 
     #[test]
     fn solo_elision_commits_and_restores_tail() {
-        assert!(testutil::solo_elided_roundtrip(|b, t| McsLock::new(b, t)));
+        assert!(testutil::solo_elided_roundtrip(McsLock::new));
     }
 
     #[test]
@@ -167,7 +165,9 @@ mod tests {
             }
         });
         let st = results[1].expect("thread 1 status");
-        assert!(st.is_explicit(codes::QUEUE_BUSY) || st.reason == elision_htm::AbortReason::Conflict);
+        assert!(
+            st.is_explicit(codes::QUEUE_BUSY) || st.reason == elision_htm::AbortReason::Conflict
+        );
     }
 
     #[test]

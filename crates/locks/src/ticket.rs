@@ -145,8 +145,7 @@ mod tests {
 
     #[test]
     fn provides_mutual_exclusion() {
-        let (count, _) =
-            testutil::mutex_stress::<TicketLock, _>(4, 200, 0, |b, t| TicketLock::new(b, t));
+        let (count, _) = testutil::mutex_stress::<TicketLock, _>(4, 200, 0, TicketLock::new);
         assert_eq!(count, 800);
     }
 
@@ -160,7 +159,7 @@ mod tests {
 
     #[test]
     fn adapted_solo_elision_commits() {
-        assert!(testutil::solo_elided_roundtrip(|b, t| TicketLock::new(b, t)));
+        assert!(testutil::solo_elided_roundtrip(TicketLock::new));
     }
 
     #[test]

@@ -102,8 +102,7 @@ mod tests {
 
     #[test]
     fn provides_mutual_exclusion_with_lag_window() {
-        let (count, _) =
-            testutil::mutex_stress::<TtasLock, _>(8, 100, 32, |b, _| TtasLock::new(b));
+        let (count, _) = testutil::mutex_stress::<TtasLock, _>(8, 100, 32, |b, _| TtasLock::new(b));
         assert_eq!(count, 800);
     }
 

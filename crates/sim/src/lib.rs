@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod cost;
+mod fault;
 mod rng;
 mod sched;
 mod slots;
@@ -52,6 +53,7 @@ mod stats;
 mod trace;
 
 pub use cost::CostModel;
+pub use fault::{FaultPlan, FaultStats, PreemptSpec};
 pub use rng::DetRng;
 pub use sched::{Scheduler, SimHandle};
 pub use slots::{SlotRecorder, SlotSeries};
@@ -78,6 +80,9 @@ pub struct SimOutcome<R> {
     pub end_times: Vec<u64>,
     /// The simulated makespan: the largest per-thread end time.
     pub makespan: u64,
+    /// Per-thread injected-fault counters; empty when the run had no
+    /// fault plan attached.
+    pub fault_stats: Vec<FaultStats>,
 }
 
 impl<R> SimOutcome<R> {
@@ -105,6 +110,7 @@ impl<R> SimOutcome<R> {
 pub struct SimBuilder {
     threads: usize,
     window: u64,
+    faults: FaultPlan,
 }
 
 impl SimBuilder {
@@ -121,7 +127,7 @@ impl SimBuilder {
             "at most {} simulated threads are supported",
             sched::MAX_THREADS
         );
-        SimBuilder { threads, window: 64 }
+        SimBuilder { threads, window: 64, faults: FaultPlan::none() }
     }
 
     /// Set the bounded-lag window, in cycles.
@@ -132,6 +138,14 @@ impl SimBuilder {
     /// deterministic. Larger windows trade determinism for host speed.
     pub fn window(mut self, window: u64) -> Self {
         self.window = window;
+        self
+    }
+
+    /// Attach a deterministic fault-injection plan (simulated preemption
+    /// and clock jitter) to the run. See [`FaultPlan`]. The default plan
+    /// injects nothing.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -149,7 +163,7 @@ impl SimBuilder {
         R: Send + 'static,
         F: Fn(ThreadCtx) -> R + Clone + Send + 'static,
     {
-        let sched = Arc::new(Scheduler::new(self.threads, self.window));
+        let sched = Arc::new(Scheduler::with_faults(self.threads, self.window, self.faults));
         let mut joins = Vec::with_capacity(self.threads);
         for id in 0..self.threads {
             let body = body.clone();
@@ -178,7 +192,8 @@ impl SimBuilder {
             end_times.push(end);
         }
         let makespan = end_times.iter().copied().max().unwrap_or(0);
-        SimOutcome { results, end_times, makespan }
+        let fault_stats = (0..self.threads).filter_map(|id| sched.fault_stats(id)).collect();
+        SimOutcome { results, end_times, makespan, fault_stats }
     }
 }
 
@@ -273,6 +288,27 @@ mod tests {
         assert_eq!(out.makespan, 500);
         let thr = out.throughput(100);
         assert!((thr - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_plan_extends_makespan_deterministically() {
+        let run = |plan: FaultPlan| {
+            SimBuilder::new(2).window(0).faults(plan).run(|ctx| {
+                for _ in 0..200 {
+                    ctx.handle.advance(5);
+                }
+                ctx.handle.now()
+            })
+        };
+        let base = run(FaultPlan::none());
+        assert!(base.fault_stats.is_empty(), "inactive plan records no stats");
+        let plan = FaultPlan::none().with_preempt(100, 400).with_jitter(100).with_seed(11);
+        let a = run(plan);
+        let b = run(plan);
+        assert_eq!(a.end_times, b.end_times, "same seed, same schedule");
+        assert_eq!(a.fault_stats, b.fault_stats, "same seed, same stats");
+        assert!(a.makespan > base.makespan, "faults must cost simulated time");
+        assert!(a.fault_stats.iter().any(|s| s.preemptions > 0));
     }
 
     #[test]

@@ -1,27 +1,28 @@
 //! Deterministic per-thread random number generation.
 //!
 //! Every source of randomness in the workspace — workload key choices,
-//! operation-mix draws, spurious-abort injection — derives from a
-//! `(global seed, stream)` pair so that a whole experiment is reproducible
-//! from a single seed.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! operation-mix draws, spurious-abort injection, fault schedules — derives
+//! from a `(global seed, stream)` pair so that a whole experiment is
+//! reproducible from a single seed. The generator is self-contained
+//! (xoshiro256++ seeded via SplitMix64) so the simulator has no external
+//! RNG dependency.
 
 /// A deterministic RNG stream.
 ///
-/// Thin wrapper over [`rand::rngs::SmallRng`] that fixes the seeding scheme
-/// so every component derives its stream the same way.
+/// xoshiro256++ state seeded from the `(seed, stream)` pair via SplitMix64,
+/// fixing the seeding scheme so every component derives its stream the same
+/// way.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    rng: SmallRng,
+    s: [u64; 4],
 }
 
 impl DetRng {
     /// Create the RNG for (`seed`, `stream`). Different streams from the
     /// same seed are statistically independent.
     pub fn new(seed: u64, stream: u64) -> Self {
-        // SplitMix64 over the pair gives well-distributed 32-byte seeds.
+        // SplitMix64 over the pair gives well-distributed 256-bit state and
+        // guarantees the all-zero state (invalid for xoshiro) is unreachable.
         let mut state = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut next = || {
             state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -30,11 +31,11 @@ impl DetRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        let mut bytes = [0u8; 32];
-        for chunk in bytes.chunks_mut(8) {
-            chunk.copy_from_slice(&next().to_le_bytes());
+        let mut s = [next(), next(), next(), next()];
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
         }
-        DetRng { rng: SmallRng::from_seed(bytes) }
+        DetRng { s }
     }
 
     /// Uniform `u64` in `[0, bound)`.
@@ -44,12 +45,25 @@ impl DetRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
-        self.rng.gen_range(0..bound)
+        // Unbiased via rejection sampling on the multiply-high method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 high bits scaled into the unit interval.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -59,13 +73,22 @@ impl DetRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.rng.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
-    /// A full-range random `u64`.
+    /// A full-range random `u64` (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.rng.gen()
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 }
 
@@ -95,6 +118,25 @@ mod tests {
         let mut r = DetRng::new(1, 1);
         for _ in 0..1000 {
             assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut r = DetRng::new(9, 3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_stays_in_interval() {
+        let mut r = DetRng::new(3, 3);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
         }
     }
 

@@ -19,6 +19,7 @@
 //! threads, and on the single-CPU hosts this workspace targets the condvar
 //! broadcast is cheap relative to the simulated work.
 
+use crate::fault::{FaultPlan, FaultStats, FaultThreadState};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -44,20 +45,42 @@ pub struct Scheduler {
     parked: AtomicUsize,
     gate: Mutex<bool>,
     cv: Condvar,
+    /// Per-thread fault-schedule state; empty when no faults are injected.
+    /// Each entry is only ever locked by its own thread, so the mutexes are
+    /// uncontended — they exist to make the state shareable via `&self`.
+    faults: Vec<Mutex<FaultThreadState>>,
 }
 
 impl Scheduler {
     /// Create a scheduler for `threads` simulated threads with the given
     /// bounded-lag `window`.
     pub fn new(threads: usize, window: u64) -> Self {
-        assert!(threads >= 1 && threads <= MAX_THREADS);
+        Self::with_faults(threads, window, FaultPlan::none())
+    }
+
+    /// Create a scheduler that additionally injects the faults described by
+    /// `plan` (see [`FaultPlan`]). An inactive plan is free.
+    pub fn with_faults(threads: usize, window: u64, plan: FaultPlan) -> Self {
+        assert!((1..=MAX_THREADS).contains(&threads));
+        let faults = if plan.is_active() {
+            (0..threads).map(|tid| Mutex::new(FaultThreadState::new(plan, tid))).collect()
+        } else {
+            Vec::new()
+        };
         Scheduler {
             window,
             times: (0..threads).map(|_| PaddedClock(AtomicU64::new(0))).collect(),
             parked: AtomicUsize::new(0),
             gate: Mutex::new(false),
             cv: Condvar::new(),
+            faults,
         }
+    }
+
+    /// The faults injected so far into thread `id`, or `None` when the run
+    /// has no fault plan.
+    pub fn fault_stats(&self, id: usize) -> Option<FaultStats> {
+        self.faults.get(id).map(|f| f.lock().stats())
     }
 
     /// Number of simulated threads.
@@ -128,6 +151,13 @@ impl Scheduler {
     }
 
     fn advance(&self, id: usize, cost: u64) {
+        let cost = match self.faults.get(id) {
+            Some(f) => {
+                let now = self.times[id].0.load(Ordering::SeqCst);
+                cost + f.lock().extra_cycles(now, cost)
+            }
+            None => cost,
+        };
         let t = self.times[id].0.fetch_add(cost, Ordering::SeqCst) + cost;
         self.wake_if_parked();
         if !self.is_runnable(id, t) {

@@ -139,7 +139,8 @@ mod tests {
 
     #[test]
     fn merge_and_sum() {
-        let mut a = OpCounters { speculative: 1, aborted: 2, nonspeculative: 3, arrived_lock_held: 4 };
+        let mut a =
+            OpCounters { speculative: 1, aborted: 2, nonspeculative: 3, arrived_lock_held: 4 };
         let b = a;
         a.merge(&b);
         assert_eq!(a.speculative, 2);

@@ -123,11 +123,7 @@ impl Kernel for Genome {
         }
         let links = self.links.collect(mem);
         if links.len() != self.expected_links() {
-            return Err(format!(
-                "found {} links, expected {}",
-                links.len(),
-                self.expected_links()
-            ));
+            return Err(format!("found {} links, expected {}", links.len(), self.expected_links()));
         }
         for (v, succ) in links {
             if succ != v + 1 || !self.unique.contains(&v) || !self.unique.contains(&succ) {

@@ -30,7 +30,12 @@ pub(crate) struct Kmeans {
 }
 
 impl Kmeans {
-    pub(crate) fn new(b: &mut MemoryBuilder, _threads: usize, params: &StampParams, high: bool) -> Self {
+    pub(crate) fn new(
+        b: &mut MemoryBuilder,
+        _threads: usize,
+        params: &StampParams,
+        high: bool,
+    ) -> Self {
         let n_points = if params.quick { 320 } else { 2400 };
         let k = if high { 6 } else { 24 };
         let mut rng = DetRng::new(params.seed, if high { 0x4EA1 } else { 0x4EA2 });

@@ -155,10 +155,7 @@ impl Kernel for Labyrinth {
         for (p, &(src, dst)) in self.requests.iter().enumerate() {
             let len = mem.read_direct(self.routed_var(p));
             if len != owned[p + 1] {
-                return Err(format!(
-                    "path {p} recorded {len} cells but owns {}",
-                    owned[p + 1]
-                ));
+                return Err(format!("path {p} recorded {len} cells but owns {}", owned[p + 1]));
             }
             if len > 0 {
                 routed_count += 1;

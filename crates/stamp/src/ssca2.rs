@@ -24,7 +24,8 @@ pub(crate) struct Ssca2 {
 
 impl Ssca2 {
     pub(crate) fn new(b: &mut MemoryBuilder, _threads: usize, params: &StampParams) -> Self {
-        let (n_nodes, n_edges, max_degree) = if params.quick { (64, 300, 12) } else { (256, 2400, 16) };
+        let (n_nodes, n_edges, max_degree) =
+            if params.quick { (64, 300, 12) } else { (256, 2400, 16) };
         let mut rng = DetRng::new(params.seed, 0x55CA2);
         // Cap per-node degree during generation so the arena never
         // overflows.

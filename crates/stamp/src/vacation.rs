@@ -38,7 +38,12 @@ pub(crate) struct Vacation {
 }
 
 impl Vacation {
-    pub(crate) fn new(b: &mut MemoryBuilder, threads: usize, params: &StampParams, high: bool) -> Self {
+    pub(crate) fn new(
+        b: &mut MemoryBuilder,
+        threads: usize,
+        params: &StampParams,
+        high: bool,
+    ) -> Self {
         let resources: u64 = if high { 48 } else { 192 };
         let queries = if high { 6 } else { 2 };
         let ops_per_thread = if params.quick { 60 } else { 350 };
@@ -96,7 +101,7 @@ impl Kernel for Vacation {
                         let avail = self.tables[t].get(s, r)?.unwrap_or(INIT_AVAIL);
                         if avail > 0 {
                             let p = price(t, r);
-                            if best.map_or(true, |(_, _, bp)| p < bp) {
+                            if best.is_none_or(|(_, _, bp)| p < bp) {
                                 best = Some((t, r, p));
                             }
                         }

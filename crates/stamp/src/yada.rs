@@ -59,7 +59,7 @@ impl Yada {
     fn neighbors(&self, i: usize) -> Vec<usize> {
         let (w, n) = (self.side, self.side * self.side);
         let mut out = Vec::with_capacity(4);
-        if i % w > 0 {
+        if !i.is_multiple_of(w) {
             out.push(i - 1);
         }
         if i % w + 1 < w {
@@ -93,7 +93,7 @@ impl Yada {
         s.store(self.q(i), GOOD)?;
         let mut delta: i64 = -1;
         s.work(12)?; // geometric computation
-        // ...and degrade budget-carrying neighbors (new skinny triangles).
+                     // ...and degrade budget-carrying neighbors (new skinny triangles).
         for nb in self.neighbors(i) {
             let budget = s.load(self.b(nb))?;
             if budget > 0 && s.load(self.q(nb))? == GOOD {
@@ -137,10 +137,7 @@ impl Kernel for Yada {
 
     fn verify(&self, mem: &Memory) -> Result<(), String> {
         if mem.read_direct(self.bad_count) != 0 {
-            return Err(format!(
-                "bad count is {}, expected 0",
-                mem.read_direct(self.bad_count)
-            ));
+            return Err(format!("bad count is {}, expected 0", mem.read_direct(self.bad_count)));
         }
         let n = self.side * self.side;
         for i in 0..n {

@@ -57,10 +57,7 @@ fn kernels_verify_under_tight_capacity() {
             tight,
         );
         if kind == KernelKind::Labyrinth {
-            assert!(
-                run.txn_stats.aborts_capacity > 0,
-                "labyrinth should hit the capacity limit"
-            );
+            assert!(run.txn_stats.aborts_capacity > 0, "labyrinth should hit the capacity limit");
             assert!(
                 run.counters.frac_nonspeculative() > 0.3,
                 "capacity-bound labyrinth should mostly fall back, got {:.3}",

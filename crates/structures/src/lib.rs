@@ -58,29 +58,28 @@ mod tests {
         let mem = b.freeze(1);
         tree.init(&mem);
         let t = tree.clone();
-        let (results, mem, _) =
-            harness::run(1, 0, HtmConfig::deterministic(), 11, mem, move |s| {
-                let mut model = BTreeSet::new();
-                let mut rng = DetRng::new(99, 0);
-                for _ in 0..2000 {
-                    let key = rng.below(128);
-                    match rng.below(3) {
-                        0 => {
-                            let added = t.insert(s, key).unwrap();
-                            assert_eq!(added, model.insert(key), "insert({key}) diverged");
-                        }
-                        1 => {
-                            let removed = t.remove(s, key).unwrap();
-                            assert_eq!(removed, model.remove(&key), "remove({key}) diverged");
-                        }
-                        _ => {
-                            let found = t.contains(s, key).unwrap();
-                            assert_eq!(found, model.contains(&key), "contains({key}) diverged");
-                        }
+        let (results, mem, _) = harness::run(1, 0, HtmConfig::deterministic(), 11, mem, move |s| {
+            let mut model = BTreeSet::new();
+            let mut rng = DetRng::new(99, 0);
+            for _ in 0..2000 {
+                let key = rng.below(128);
+                match rng.below(3) {
+                    0 => {
+                        let added = t.insert(s, key).unwrap();
+                        assert_eq!(added, model.insert(key), "insert({key}) diverged");
+                    }
+                    1 => {
+                        let removed = t.remove(s, key).unwrap();
+                        assert_eq!(removed, model.remove(&key), "remove({key}) diverged");
+                    }
+                    _ => {
+                        let found = t.contains(s, key).unwrap();
+                        assert_eq!(found, model.contains(&key), "contains({key}) diverged");
                     }
                 }
-                model.into_iter().collect::<Vec<_>>()
-            });
+            }
+            model.into_iter().collect::<Vec<_>>()
+        });
         let model_keys = &results[0];
         assert_eq!(&tree.collect(&mem), model_keys);
         assert_eq!(tree.validate(&mem).unwrap(), model_keys.len());
@@ -91,7 +90,8 @@ mod tests {
         let threads = 4;
         let mut b = MemoryBuilder::new();
         let tree = RbTree::new(&mut b, 512, threads);
-        let scheme = make_scheme(SchemeKind::HleScm, LockKind::Mcs, SchemeConfig::paper(), &mut b, threads);
+        let scheme =
+            make_scheme(SchemeKind::HleScm, LockKind::Mcs, SchemeConfig::paper(), &mut b, threads);
         let mem = b.freeze(threads);
         tree.init(&mem);
         let t = tree.clone();
@@ -121,7 +121,9 @@ mod tests {
 
     #[test]
     fn rbtree_concurrent_under_every_scheme() {
-        for kind in [SchemeKind::Hle, SchemeKind::HleRetries, SchemeKind::OptSlr, SchemeKind::SlrScm] {
+        for kind in
+            [SchemeKind::Hle, SchemeKind::HleRetries, SchemeKind::OptSlr, SchemeKind::SlrScm]
+        {
             let threads = 3;
             let mut b = MemoryBuilder::new();
             let tree = RbTree::new(&mut b, 256, threads);
@@ -149,9 +151,7 @@ mod tests {
                     delta
                 });
             let expected: i64 = results.iter().sum();
-            let n = tree
-                .validate(&mem)
-                .unwrap_or_else(|e| panic!("{kind}: invariant broken: {e}"));
+            let n = tree.validate(&mem).unwrap_or_else(|e| panic!("{kind}: invariant broken: {e}"));
             assert_eq!(n as i64, expected, "{kind}: size conservation violated");
         }
     }
@@ -189,7 +189,8 @@ mod tests {
         let threads = 4;
         let mut b = MemoryBuilder::new();
         let table = HashTable::new(&mut b, 64, 512, threads);
-        let scheme = make_scheme(SchemeKind::OptSlr, LockKind::Ttas, SchemeConfig::paper(), &mut b, threads);
+        let scheme =
+            make_scheme(SchemeKind::OptSlr, LockKind::Ttas, SchemeConfig::paper(), &mut b, threads);
         let mem = b.freeze(threads);
         table.init(&mem);
         let t = table.clone();
@@ -263,7 +264,8 @@ mod tests {
         let per = 100u64;
         let mut b = MemoryBuilder::new();
         let q = SimQueue::new(&mut b, 1024);
-        let scheme = make_scheme(SchemeKind::HleScm, LockKind::Ttas, SchemeConfig::paper(), &mut b, threads);
+        let scheme =
+            make_scheme(SchemeKind::HleScm, LockKind::Ttas, SchemeConfig::paper(), &mut b, threads);
         let mem = b.freeze(threads);
         let qq = q.clone();
         let (results, mem, _) =
@@ -321,30 +323,27 @@ mod tests {
         let mem = b.freeze(threads);
         tree.init(&mem);
         let t = tree.clone();
-        let (_, mem, _) =
-            harness::run(threads, 0, HtmConfig::deterministic(), 5, mem, move |s| {
-                if s.tid() == 0 {
-                    // Speculative traversals, racing the writer.
-                    let mut aborted = 0;
-                    for k in 0..60u64 {
-                        s.begin();
-                        let r = t.contains(s, k % 32);
-                        if r.is_err() {
-                            aborted += 1;
-                        } else if s.commit().is_err() {
-                            aborted += 1;
-                        }
+        let (_, mem, _) = harness::run(threads, 0, HtmConfig::deterministic(), 5, mem, move |s| {
+            if s.tid() == 0 {
+                // Speculative traversals, racing the writer.
+                let mut aborted = 0;
+                for k in 0..60u64 {
+                    s.begin();
+                    let r = t.contains(s, k % 32);
+                    if r.is_err() || s.commit().is_err() {
+                        aborted += 1;
                     }
-                    aborted
-                } else {
-                    // Non-speculative writer mutating the tree.
-                    for k in 0..30u64 {
-                        t.insert(s, k).unwrap();
-                        s.work(5).unwrap();
-                    }
-                    0
                 }
-            });
+                aborted
+            } else {
+                // Non-speculative writer mutating the tree.
+                for k in 0..30u64 {
+                    t.insert(s, k).unwrap();
+                    s.work(5).unwrap();
+                }
+                0
+            }
+        });
         assert_eq!(tree.validate(&mem).unwrap(), 30);
     }
 }

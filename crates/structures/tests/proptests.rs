@@ -48,7 +48,7 @@ proptest! {
             model.into_iter().collect::<Vec<_>>()
         });
         prop_assert_eq!(&tree.collect(&mem), &results[0]);
-        let n = tree.validate(&mem).map_err(|e| TestCaseError::fail(e))?;
+        let n = tree.validate(&mem).map_err(TestCaseError::fail)?;
         prop_assert_eq!(n, results[0].len());
     }
 
@@ -133,6 +133,6 @@ proptest! {
             let _ = s.xabort(9, false);
             assert_eq!(t.collect(s.memory()), before, "abort leaked structure changes");
         });
-        tree.validate(&mem).map_err(|e| TestCaseError::fail(e))?;
+        tree.validate(&mem).map_err(TestCaseError::fail)?;
     }
 }

@@ -19,7 +19,8 @@ fn main() {
     let domain = key_domain(TREE_SIZE);
     let mut b = MemoryBuilder::new();
     let tree = RbTree::new(&mut b, domain as usize + 64, THREADS);
-    let scheme = make_scheme(SchemeKind::Hle, LockKind::Mcs, SchemeConfig::paper(), &mut b, THREADS);
+    let scheme =
+        make_scheme(SchemeKind::Hle, LockKind::Mcs, SchemeConfig::paper(), &mut b, THREADS);
     let mem = Arc::new(b.freeze(THREADS));
     tree.init(&mem);
     {
@@ -63,11 +64,19 @@ fn main() {
     println!("\ntraced: {commits} commits, {aborts} aborts");
 
     println!("\n--- abort causes, all threads ---");
-    println!("{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}", "thread", "conflict", "capacity", "explicit", "spurious", "restore");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "thread", "conflict", "capacity", "explicit", "spurious", "restore"
+    );
     for (tid, (_, st)) in results.iter().enumerate() {
         println!(
             "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}",
-            tid, st.aborts_conflict, st.aborts_capacity, st.aborts_explicit, st.aborts_spurious, st.aborts_restore
+            tid,
+            st.aborts_conflict,
+            st.aborts_capacity,
+            st.aborts_explicit,
+            st.aborts_spurious,
+            st.aborts_restore
         );
     }
     println!(

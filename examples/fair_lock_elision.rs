@@ -23,12 +23,8 @@ use std::sync::Arc;
 
 fn main() {
     println!("--- single elided critical section, per lock variant ---");
-    for kind in [
-        LockKind::TicketUnadapted,
-        LockKind::Ticket,
-        LockKind::ClhUnadapted,
-        LockKind::Clh,
-    ] {
+    for kind in [LockKind::TicketUnadapted, LockKind::Ticket, LockKind::ClhUnadapted, LockKind::Clh]
+    {
         let outcome = solo_elision(kind);
         println!("{:<18} {}", kind.label(), outcome);
     }
@@ -84,17 +80,21 @@ fn disjoint_throughput(kind: LockKind, scheme_kind: SchemeKind) -> f64 {
     let mut b = MemoryBuilder::new();
     let slots: Vec<_> = (0..threads).map(|_| b.alloc_isolated(0)).collect();
     let main = make_lock(kind, &mut b, threads);
-    let scheme = Arc::new(Scheme::new(scheme_kind, SchemeConfig::paper(), main, None));
+    let scheme = Arc::new(
+        Scheme::new(scheme_kind, SchemeConfig::paper(), main, None)
+            .expect("non-SCM scheme needs no aux"),
+    );
     let mem = b.freeze(threads);
-    let (_, _, makespan) = harness::run(threads, 16, HtmConfig::deterministic(), 5, mem, move |s| {
-        let my = slots[s.tid()];
-        for _ in 0..ops {
-            scheme.execute(s, |s| {
-                let v = s.load(my)?;
-                s.work(10)?;
-                s.store(my, v + 1)
-            });
-        }
-    });
+    let (_, _, makespan) =
+        harness::run(threads, 16, HtmConfig::deterministic(), 5, mem, move |s| {
+            let my = slots[s.tid()];
+            for _ in 0..ops {
+                scheme.execute(s, |s| {
+                    let v = s.load(my)?;
+                    s.work(10)?;
+                    s.store(my, v + 1)
+                });
+            }
+        });
     ops as f64 * threads as f64 * 1000.0 / makespan as f64
 }

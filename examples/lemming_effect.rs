@@ -28,7 +28,8 @@ const OPS_PER_THREAD: u64 = 400;
 fn main() {
     println!("Workload: {TREE_SIZE}-node tree, 10% insert / 10% delete / 80% lookup, {THREADS} threads, MCS lock\n");
     let mut baseline = None;
-    for kind in [SchemeKind::Standard, SchemeKind::Hle, SchemeKind::HleRetries, SchemeKind::HleScm] {
+    for kind in [SchemeKind::Standard, SchemeKind::Hle, SchemeKind::HleRetries, SchemeKind::HleScm]
+    {
         let (throughput, c) = run_under(kind);
         let speedup = baseline.map(|b: f64| throughput / b).unwrap_or(1.0);
         if kind == SchemeKind::Standard {

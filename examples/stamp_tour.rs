@@ -13,8 +13,7 @@ use elision_stamp::{run_kernel, KernelKind, StampParams};
 
 fn main() {
     let kernels = [KernelKind::Ssca2, KernelKind::VacationHigh, KernelKind::Labyrinth];
-    let schemes =
-        [SchemeKind::Standard, SchemeKind::Hle, SchemeKind::HleScm, SchemeKind::OptSlr];
+    let schemes = [SchemeKind::Standard, SchemeKind::Hle, SchemeKind::HleScm, SchemeKind::OptSlr];
     let threads = 8;
 
     for lock in [LockKind::Ttas, LockKind::Mcs] {

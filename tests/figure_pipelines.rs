@@ -95,6 +95,8 @@ fn hashtable_pipeline_smoke() {
         window: 0,
         htm: HtmConfig::deterministic(),
         seed: 9,
+        scheme_cfg: elision_core::SchemeConfig::paper(),
+        faults: elision_sim::FaultPlan::none(),
     };
     let r = run_hash_bench(&spec);
     assert_eq!(r.counters.completed(), 400);

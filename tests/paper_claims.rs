@@ -8,7 +8,13 @@ use elision_core::{LockKind, SchemeKind};
 use elision_htm::HtmConfig;
 use elision_structures::OpMix;
 
-fn run(scheme: SchemeKind, lock: LockKind, size: usize, mix: OpMix, threads: usize) -> TreeBenchResult {
+fn run(
+    scheme: SchemeKind,
+    lock: LockKind,
+    size: usize,
+    mix: OpMix,
+    threads: usize,
+) -> TreeBenchResult {
     let mut spec = TreeBenchSpec::new(scheme, lock, threads, size, mix);
     spec.ops_per_thread = 250;
     spec.window = 16;
@@ -142,7 +148,8 @@ fn claim_plain_hle_mcs_does_not_scale() {
 #[test]
 fn claim_spurious_aborts_trigger_fair_lock_lemming() {
     let htm = HtmConfig::deterministic().with_spurious(0.02, 0.0);
-    let mut hle_spec = TreeBenchSpec::new(SchemeKind::Hle, LockKind::Mcs, 8, 512, OpMix::LOOKUP_ONLY);
+    let mut hle_spec =
+        TreeBenchSpec::new(SchemeKind::Hle, LockKind::Mcs, 8, 512, OpMix::LOOKUP_ONLY);
     hle_spec.ops_per_thread = 250;
     hle_spec.window = 16;
     hle_spec.htm = htm;

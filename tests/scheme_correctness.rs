@@ -85,11 +85,7 @@ fn mixed_structures_run(scheme_kind: SchemeKind, lock: LockKind, window: u64, ht
     let in_table = table.collect(&mem).len() as u64;
     let in_queue = queue.len_direct(&mem);
     let total = in_tree as u64 + in_table + in_queue + mem.read_direct(consumed);
-    assert_eq!(
-        total,
-        mem.read_direct(minted),
-        "{scheme_kind}/{lock}: items leaked or duplicated"
-    );
+    assert_eq!(total, mem.read_direct(minted), "{scheme_kind}/{lock}: items leaked or duplicated");
 }
 
 #[test]
