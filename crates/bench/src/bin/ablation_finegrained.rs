@@ -8,8 +8,9 @@
 //! (fine-grained). Elision transforms the coarse-grained version but
 //! barely moves the fine-grained one, which was already concurrent.
 
+use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, Table};
-use elision_bench::{CliArgs, BENCH_WINDOW};
+use elision_bench::CliArgs;
 use elision_core::{make_lock, LockKind, Scheme, SchemeConfig, SchemeKind};
 use elision_htm::{harness, HtmConfig, MemoryBuilder, VarId};
 use std::sync::Arc;
@@ -18,7 +19,7 @@ const SHARDS: usize = 16;
 
 /// Each operation picks a shard, locks it (or the single global lock) and
 /// updates that shard's counter.
-fn run(scheme_kind: SchemeKind, fine_grained: bool, threads: usize, ops: u64) -> f64 {
+fn run(scheme_kind: SchemeKind, fine_grained: bool, threads: usize, ops: u64, window: u64) -> f64 {
     let mut b = MemoryBuilder::new();
     let counters: Vec<VarId> = (0..SHARDS).map(|_| b.alloc_isolated(0)).collect();
     let n_locks = if fine_grained { SHARDS } else { 1 };
@@ -34,7 +35,7 @@ fn run(scheme_kind: SchemeKind, fine_grained: bool, threads: usize, ops: u64) ->
     let mem = b.freeze(threads);
     let counters2 = counters.clone();
     let (_, mem, makespan) =
-        harness::run(threads, BENCH_WINDOW, HtmConfig::haswell(), 21, mem, move |s| {
+        harness::run(threads, window, HtmConfig::haswell(), 21, mem, move |s| {
             for _ in 0..ops {
                 let shard = s.rng.below(SHARDS as u64) as usize;
                 let scheme = &schemes[shard % schemes.len()];
@@ -60,19 +61,30 @@ fn main() {
 
     let mut table =
         Table::new(&["granularity", "standard (ops/kcycle)", "HLE (ops/kcycle)", "HLE speedup"]);
+    let mut report = MetricsReport::new("ablation_finegrained", &args);
     for fine in [false, true] {
-        let std = run(SchemeKind::Standard, fine, args.threads, ops);
-        let hle = run(SchemeKind::Hle, fine, args.threads, ops);
+        let std = run(SchemeKind::Standard, fine, args.threads, ops, args.window);
+        let hle = run(SchemeKind::Hle, fine, args.threads, ops, args.window);
         table.row(vec![
             if fine { format!("fine ({SHARDS} locks)") } else { "coarse (1 lock)".to_string() },
             f2(std),
             f2(hle),
             f2(hle / std),
         ]);
+        report.push_row(Json::obj(vec![
+            ("granularity", Json::Str(if fine { "fine" } else { "coarse" }.to_string())),
+            ("locks", Json::Uint(if fine { SHARDS as u64 } else { 1 })),
+            ("standard_throughput", Json::Float(std)),
+            ("hle_throughput", Json::Float(hle)),
+            ("hle_speedup", Json::Float(hle / std)),
+        ]));
     }
     table.print();
     if let Some(dir) = &args.csv {
         table.write_csv(dir, "ablation_finegrained");
+    }
+    if let Some(dir) = &args.metrics {
+        report.write(dir);
     }
     println!(
         "\nShape check: elision multiplies coarse-grained throughput but adds \

@@ -12,6 +12,7 @@
 //! of classic SCM then usefully throttles wasted speculation, which is
 //! exactly the trade-off the paper's remark anticipates.
 
+use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, Table};
 use elision_bench::CliArgs;
 use elision_core::{make_grouped_scm, make_scheme, LockKind, SchemeConfig, SchemeKind};
@@ -52,6 +53,7 @@ fn main() {
 
     let mut table =
         Table::new(&["hot words", "threads", "cs work", "single-aux", "grouped", "speedup"]);
+    let mut report = MetricsReport::new("ablation_grouped", &args);
     for (hw, thr, work) in [
         (1usize, 8usize, 40u64),
         (2, 6, 80),
@@ -71,10 +73,21 @@ fn main() {
             g.to_string(),
             f2(s as f64 / g as f64),
         ]);
+        report.push_row(Json::obj(vec![
+            ("hot_words", Json::Uint(hw as u64)),
+            ("threads", Json::Uint(thr as u64)),
+            ("cs_work", Json::Uint(work)),
+            ("single_aux_makespan", Json::Uint(s)),
+            ("grouped_makespan", Json::Uint(g)),
+            ("speedup", Json::Float(s as f64 / g as f64)),
+        ]));
     }
     table.print();
     if let Some(dir) = &args.csv {
         table.write_csv(dir, "ablation_grouped");
+    }
+    if let Some(dir) = &args.metrics {
+        report.write(dir);
     }
     println!(
         "\nShape check: speedup > 1 with many active groups and long critical \

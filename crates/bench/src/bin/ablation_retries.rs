@@ -6,8 +6,9 @@
 //! 128-node moderate-contention tree and reports throughput normalized to
 //! the paper's budget of 10.
 
+use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, Table};
-use elision_bench::{CliArgs, BENCH_WINDOW};
+use elision_bench::CliArgs;
 use elision_core::{make_scheme_with_aux, LockKind, SchemeConfig, SchemeKind};
 use elision_htm::{harness, HtmConfig, MemoryBuilder};
 use elision_structures::{key_domain, OpMix, RbTree, TreeOp};
@@ -45,7 +46,7 @@ fn run_with_budget(
     let tree2 = tree.clone();
     let (_, makespan) = harness::run_arc(
         threads,
-        BENCH_WINDOW,
+        args.window,
         HtmConfig::haswell(),
         42,
         Arc::clone(&mem),
@@ -72,6 +73,7 @@ fn main() {
     println!("== Ablation: MAX_RETRIES budget (128-node tree, moderate contention) ==");
     println!("values normalized to the paper's budget of 10\n");
 
+    let mut report = MetricsReport::new("ablation_retries", &args);
     for lock in [LockKind::Ttas, LockKind::Mcs] {
         println!("--- {} main lock ---", lock.label());
         let mut table = Table::new(&["budget", "HLE-retries", "opt SLR", "HLE-SCM"]);
@@ -83,6 +85,13 @@ fn main() {
             for (i, &scheme) in schemes.iter().enumerate() {
                 let thr = run_with_budget(&args, scheme, lock, budget, ops);
                 cells.push(f2(thr / baseline[i]));
+                report.push_row(Json::obj(vec![
+                    ("lock", Json::Str(lock.label().to_string())),
+                    ("budget", Json::Uint(u64::from(budget))),
+                    ("scheme", Json::Str(scheme.label().to_string())),
+                    ("throughput", Json::Float(thr)),
+                    ("norm_throughput", Json::Float(thr / baseline[i])),
+                ]));
             }
             table.row(cells);
         }
@@ -91,6 +100,9 @@ fn main() {
             table.write_csv(dir, &format!("ablation_retries_{}", lock.label().to_lowercase()));
         }
         println!();
+    }
+    if let Some(dir) = &args.metrics {
+        report.write(dir);
     }
     println!("Shape check: performance is flat-ish around 10 and degrades at budget 1.");
 }

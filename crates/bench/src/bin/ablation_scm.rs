@@ -11,8 +11,9 @@
 //!   inside RTM, forcing the read-and-check workaround. The simulator can
 //!   do both, quantifying what the workaround costs.
 
+use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, Table};
-use elision_bench::{CliArgs, BENCH_WINDOW};
+use elision_bench::CliArgs;
 use elision_core::{make_scheme_with_aux, LockKind, Scheme, SchemeConfig, SchemeKind};
 use elision_htm::{harness, HtmConfig, MemoryBuilder};
 use elision_structures::{key_domain, OpMix, RbTree, TreeOp};
@@ -49,7 +50,7 @@ fn run_custom(
     let tree2 = tree.clone();
     let (ends, makespan) = harness::run_arc(
         threads,
-        BENCH_WINDOW,
+        args.window,
         HtmConfig::haswell(),
         42,
         Arc::clone(&mem),
@@ -79,6 +80,7 @@ fn main() {
     println!("== Ablation: SCM design choices (128-node tree, moderate contention) ==\n");
 
     println!("--- auxiliary-lock fairness (HLE-SCM over MCS main lock) ---");
+    let mut report = MetricsReport::new("ablation_scm", &args);
     let mut table = Table::new(&["aux lock", "throughput (ops/kcycle)", "finish-time spread"]);
     for aux in [LockKind::Mcs, LockKind::Ticket, LockKind::Clh, LockKind::Ttas] {
         let (thr, spread) = run_custom(
@@ -96,6 +98,12 @@ fn main() {
             ops,
         );
         table.row(vec![aux.label().to_string(), f2(thr), f2(spread)]);
+        report.push_row(Json::obj(vec![
+            ("section", Json::Str("aux_fairness".to_string())),
+            ("aux_lock", Json::Str(aux.label().to_string())),
+            ("throughput", Json::Float(thr)),
+            ("finish_time_spread", Json::Float(spread)),
+        ]));
     }
     table.print();
     if let Some(dir) = &args.csv {
@@ -119,10 +127,18 @@ fn main() {
             ops,
         );
         table.row(vec![label.to_string(), f2(thr)]);
+        report.push_row(Json::obj(vec![
+            ("section", Json::Str("subscription".to_string())),
+            ("variant", Json::Str(label.to_string())),
+            ("throughput", Json::Float(thr)),
+        ]));
     }
     table.print();
     if let Some(dir) = &args.csv {
         table.write_csv(dir, "ablation_scm_subscription");
+    }
+    if let Some(dir) = &args.metrics {
+        report.write(dir);
     }
     println!(
         "\nShape check: fair aux locks keep the finish-time spread tight; the \

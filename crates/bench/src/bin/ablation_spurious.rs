@@ -7,6 +7,7 @@
 //! HLE-SCM over the MCS lock. With zero spurious aborts a read-only
 //! workload never aborts; even a tiny rate collapses plain HLE-MCS.
 
+use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, f3, Table};
 use elision_bench::{CliArgs, TreeBenchSpec};
 use elision_core::{LockKind, SchemeKind};
@@ -28,12 +29,14 @@ fn main() {
         "HLE speedup-vs-std",
         "HLE-SCM speedup-vs-std",
     ]);
+    let mut report = MetricsReport::new("ablation_spurious", &args);
     for &rate in &rates {
         let htm = HtmConfig::haswell().with_spurious(rate, 0.0);
         let run = |scheme: SchemeKind| {
             let mut spec =
                 TreeBenchSpec::new(scheme, LockKind::Mcs, args.threads, 512, OpMix::LOOKUP_ONLY);
             spec.ops_per_thread = ops;
+            spec.window = args.window;
             spec.htm = htm;
             elision_bench::run_tree_bench_avg(&spec, args.seeds)
         };
@@ -47,10 +50,23 @@ fn main() {
             f2(hle.throughput / std.throughput),
             f2(scm.throughput / std.throughput),
         ]);
+        for (scheme, r) in [("HLE", &hle), ("HLE-SCM", &scm)] {
+            report.push_result(
+                vec![
+                    ("spurious_rate", Json::Float(rate)),
+                    ("scheme", Json::Str(scheme.to_string())),
+                    ("speedup_vs_std", Json::Float(r.throughput / std.throughput)),
+                ],
+                r,
+            );
+        }
     }
     table.print();
     if let Some(dir) = &args.csv {
         table.write_csv(dir, "ablation_spurious");
+    }
+    if let Some(dir) = &args.metrics {
+        report.write(dir);
     }
     println!(
         "\nShape check: HLE-MCS frac-nonspec jumps toward 1 as soon as the rate is \

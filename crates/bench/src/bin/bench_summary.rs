@@ -1,0 +1,111 @@
+//! Merge per-binary `--metrics` JSON reports into one `BENCH_SUMMARY.json`.
+//!
+//! Usage: `bench_summary <DIR>` (defaults to `results`). Reads every
+//! `*.json` in the directory (except a previous summary), validates the
+//! schema, and writes `<DIR>/BENCH_SUMMARY.json` containing one entry per
+//! report — binary name, its config, its row count — plus an abort-cause
+//! histogram summed over every row of every report. Files are processed
+//! in sorted name order, so the summary is deterministic.
+
+use elision_bench::metrics::{parse, Json, SCHEMA_VERSION};
+use elision_sim::AbortCause;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+const SUMMARY_NAME: &str = "BENCH_SUMMARY.json";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(1);
+}
+
+/// Validate one report's schema; returns (binary, config, rows).
+fn validate(path: &Path, doc: &Json) -> (String, Json, Vec<Json>) {
+    let ctx = path.display();
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| fail(&format!("{ctx}: missing schema_version")));
+    if version != SCHEMA_VERSION {
+        fail(&format!("{ctx}: schema_version {version} (expected {SCHEMA_VERSION})"));
+    }
+    let binary = doc
+        .get("binary")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail(&format!("{ctx}: missing binary name")))
+        .to_string();
+    let config =
+        doc.get("config").cloned().unwrap_or_else(|| fail(&format!("{ctx}: missing config")));
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail(&format!("{ctx}: missing rows array")))
+        .to_vec();
+    (binary, config, rows)
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    let entries = match fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => fail(&format!("cannot read {}: {e}", dir.display())),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "json")
+                && p.file_name().is_some_and(|n| n != SUMMARY_NAME)
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        fail(&format!("no metrics reports (*.json) found in {}", dir.display()));
+    }
+
+    let mut reports = Vec::new();
+    let mut total_rows = 0u64;
+    let mut cause_totals = vec![0u64; AbortCause::ALL.len()];
+    for path in &paths {
+        let text = fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("reading {}: {e}", path.display())));
+        let doc =
+            parse(&text).unwrap_or_else(|e| fail(&format!("parsing {}: {e}", path.display())));
+        let (binary, config, rows) = validate(path, &doc);
+        for row in &rows {
+            if let Some(causes) = row.get("abort_causes") {
+                for (i, cause) in AbortCause::ALL.iter().enumerate() {
+                    cause_totals[i] +=
+                        causes.get(cause.label()).and_then(Json::as_u64).unwrap_or(0);
+                }
+            }
+        }
+        total_rows += rows.len() as u64;
+        reports.push(Json::obj(vec![
+            ("binary", Json::Str(binary)),
+            ("config", config),
+            ("rows", Json::Uint(rows.len() as u64)),
+        ]));
+        println!("merged {}", path.display());
+    }
+
+    let summary = Json::obj(vec![
+        ("schema_version", Json::Uint(SCHEMA_VERSION)),
+        ("reports", Json::Arr(reports)),
+        ("total_rows", Json::Uint(total_rows)),
+        (
+            "abort_cause_totals",
+            Json::Obj(
+                AbortCause::ALL
+                    .iter()
+                    .zip(&cause_totals)
+                    .map(|(c, &n)| (c.label().to_string(), Json::Uint(n)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let out = dir.join(SUMMARY_NAME);
+    fs::write(&out, summary.render())
+        .unwrap_or_else(|e| fail(&format!("writing {}: {e}", out.display())));
+    println!("wrote {} ({} reports, {total_rows} rows)", out.display(), paths.len());
+}

@@ -17,6 +17,7 @@
 //! The degradation curves (throughput and p99 completion cycles vs
 //! intensity) are printed as tables and optionally written as CSV.
 
+use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, Table};
 use elision_bench::{chaos::MAX_INTENSITY, run_tree_bench, ChaosProfile, CliArgs, TreeBenchSpec};
 use elision_core::{BreakerConfig, LockKind, SchemeConfig, SchemeKind};
@@ -137,6 +138,7 @@ fn main() {
          (backoff + capacity fast-path + breaker), window=0\n"
     );
 
+    let mut report = MetricsReport::new("chaos_stress", &args);
     for profile in &profiles {
         let mut table = Table::new(&[
             "level",
@@ -164,6 +166,18 @@ fn main() {
                         r.fault_stats.preemptions.to_string(),
                         r.breaker_trips.to_string(),
                     ]);
+                    report.push_result(
+                        vec![
+                            ("profile", Json::Str(profile.label().to_string())),
+                            ("level", Json::Uint(u64::from(level))),
+                            ("scheme", Json::Str(scheme.label().to_string())),
+                            ("lock", Json::Str(lock.label().to_string())),
+                            ("p99_cycles", Json::Uint(r.watchdog.percentile(99).unwrap_or(0))),
+                            ("preemptions", Json::Uint(r.fault_stats.preemptions)),
+                            ("breaker_trips", Json::Uint(r.breaker_trips)),
+                        ],
+                        &r,
+                    );
                 }
             }
         }
@@ -173,6 +187,9 @@ fn main() {
             table.write_csv(dir, &format!("chaos_{profile}"));
         }
         println!();
+    }
+    if let Some(dir) = &args.metrics {
+        report.write(dir);
     }
 
     // Determinism: the nastiest profile, both lock families.

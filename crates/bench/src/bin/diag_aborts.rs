@@ -1,10 +1,18 @@
-//! Diagnostic — abort breakdown by cause for every scheme/lock cell on
-//! one tree configuration. Not a paper figure; used when analysing why a
-//! scheme serializes (conflict vs capacity vs spurious vs lock-busy).
+//! Diagnostic — abort breakdown by *classified cause* for every
+//! scheme/lock cell on one tree configuration. Not a paper figure; used
+//! when analysing why a scheme serializes (data conflict vs lock-word
+//! conflict vs capacity vs explicit vs injected).
+//!
+//! Doubles as an end-to-end cross-check of the abort-cause taxonomy: for
+//! every cell the classified cause counts must sum exactly to the number
+//! of aborted attempts the scheme counters and the raw HTM statistics
+//! both report. The binary panics if the accounting ever disagrees.
 
+use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, f3, Table};
 use elision_bench::{run_tree_bench, CliArgs, TreeBenchSpec};
 use elision_core::{LockKind, SchemeKind};
+use elision_sim::AbortCause;
 use elision_structures::OpMix;
 
 fn main() {
@@ -12,39 +20,59 @@ fn main() {
     let size = if args.quick { 128 } else { 2048 };
     let ops = if args.quick { 300 } else { 1000 };
 
-    println!("== Diagnostic: abort breakdown ({size}-node tree, moderate contention) ==\n");
-    let mut table = Table::new(&[
-        "lock",
-        "scheme",
-        "frac-nonspec",
-        "attempts/op",
-        "conflict",
-        "capacity",
-        "explicit",
-        "spurious",
-        "restore",
-    ]);
+    println!(
+        "== Diagnostic: abort breakdown by cause ({size}-node tree, moderate contention) ==\n"
+    );
+    let mut headers = vec!["lock", "scheme", "frac-nonspec", "attempts/op", "aborted"];
+    headers.extend(AbortCause::ALL.iter().map(|c| c.label()));
+    let mut table = Table::new(&headers);
+    let mut report = MetricsReport::new("diag_aborts", &args);
     for lock in [LockKind::Ttas, LockKind::Mcs] {
         for scheme in SchemeKind::ALL {
             let mut spec = TreeBenchSpec::new(scheme, lock, args.threads, size, OpMix::MODERATE);
             spec.ops_per_thread = ops;
+            spec.window = args.window;
             let r = run_tree_bench(&spec);
-            let t = &r.txn_stats;
-            table.row(vec![
+
+            // Taxonomy cross-check: every aborted attempt must carry
+            // exactly one classified cause, and the scheme-level abort
+            // counter must agree with the raw HTM abort statistics.
+            let causes = r.counters.causes;
+            assert_eq!(
+                causes.total(),
+                r.counters.aborted,
+                "{lock}/{scheme}: cause counts must sum to aborted attempts"
+            );
+            assert_eq!(
+                r.counters.aborted,
+                r.txn_stats.aborts(),
+                "{lock}/{scheme}: scheme abort count must match HTM abort count"
+            );
+
+            let mut row = vec![
                 lock.label().to_string(),
                 scheme.label().to_string(),
                 f3(r.counters.frac_nonspeculative()),
                 f2(r.counters.attempts_per_op()),
-                t.aborts_conflict.to_string(),
-                t.aborts_capacity.to_string(),
-                t.aborts_explicit.to_string(),
-                t.aborts_spurious.to_string(),
-                t.aborts_restore.to_string(),
-            ]);
+                r.counters.aborted.to_string(),
+            ];
+            row.extend(AbortCause::ALL.iter().map(|&c| causes.get(c).to_string()));
+            table.row(row);
+            report.push_result(
+                vec![
+                    ("lock", Json::Str(lock.label().to_string())),
+                    ("scheme", Json::Str(scheme.label().to_string())),
+                ],
+                &r,
+            );
         }
     }
     table.print();
+    println!("\ncause accounting verified: per-cell cause counts sum to aborted attempts");
     if let Some(dir) = &args.csv {
         table.write_csv(dir, "diag_aborts");
+    }
+    if let Some(dir) = &args.metrics {
+        report.write(dir);
     }
 }

@@ -9,6 +9,7 @@
 //! MCS everything wins 2-10x across the board because plain HLE-MCS is
 //! fully serialized — and HLE-retries helps TTAS but *not* MCS.
 
+use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, Table};
 use elision_bench::{run_tree_bench_avg, size_sweep, CliArgs, TreeBenchSpec};
 use elision_core::{LockKind, SchemeKind};
@@ -25,6 +26,7 @@ fn main() {
     println!("== Figure 10: software schemes vs the HLE baseline of each lock ==");
     println!("{} threads; baseline y=1 is plain HLE with the same lock\n", args.threads);
 
+    let mut report = MetricsReport::new("fig10_spectrum", &args);
     for lock in [LockKind::Ttas, LockKind::Mcs] {
         for (label, mix) in OpMix::LEVELS {
             println!("--- {} lock, {label} ---", lock.label());
@@ -36,6 +38,7 @@ fn main() {
                 let mut hle_spec =
                     TreeBenchSpec::new(SchemeKind::Hle, lock, args.threads, size, mix);
                 hle_spec.ops_per_thread = ops;
+                hle_spec.window = args.window;
                 let hle = run_tree_bench_avg(&hle_spec, args.seeds);
                 let mut cells = vec![size.to_string()];
                 for scheme in SCHEMES {
@@ -43,6 +46,16 @@ fn main() {
                     spec.scheme = scheme;
                     let r = run_tree_bench_avg(&spec, args.seeds);
                     cells.push(f2(r.throughput / hle.throughput));
+                    report.push_result(
+                        vec![
+                            ("lock", Json::Str(lock.label().to_string())),
+                            ("workload", Json::Str(label.to_string())),
+                            ("size", Json::Uint(size as u64)),
+                            ("scheme", Json::Str(scheme.label().to_string())),
+                            ("speedup_vs_hle", Json::Float(r.throughput / hle.throughput)),
+                        ],
+                        &r,
+                    );
                 }
                 table.row(cells);
             }
@@ -60,6 +73,9 @@ fn main() {
             }
             println!();
         }
+    }
+    if let Some(dir) = &args.metrics {
+        report.write(dir);
     }
     println!(
         "Paper shape check: MCS rows sit well above 1 everywhere (2-10x); TTAS rows \

@@ -11,8 +11,9 @@
 //! tracks SLR on TTAS but collapses to ~standard on MCS for genome, yada
 //! and vacation; SLR-SCM only helps vacation-low (~15%).
 
+use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f3, Table};
-use elision_bench::{CliArgs, BENCH_WINDOW};
+use elision_bench::CliArgs;
 use elision_core::{LockKind, SchemeKind};
 use elision_htm::HtmConfig;
 use elision_stamp::{run_kernel, KernelKind, StampParams};
@@ -24,6 +25,7 @@ fn main() {
     println!("== Figure 11: STAMP normalized runtime (lower is better) ==");
     println!("{} threads; y=1 is the standard version of the same lock\n", args.threads);
 
+    let mut report = MetricsReport::new("fig11_stamp", &args);
     for lock in [LockKind::Ttas, LockKind::Mcs] {
         println!("--- {} lock ---", lock.label());
         let mut headers = vec!["test".to_string()];
@@ -46,7 +48,7 @@ fn main() {
                         lock,
                         args.threads,
                         &p,
-                        BENCH_WINDOW,
+                        args.window,
                         HtmConfig::haswell(),
                     );
                     total += run.makespan;
@@ -57,8 +59,15 @@ fn main() {
                 }
                 times.push(mean);
             }
-            for t in times {
+            for (scheme, t) in SchemeKind::ALL.iter().zip(&times) {
                 cells.push(f3(t / baseline));
+                report.push_row(Json::obj(vec![
+                    ("lock", Json::Str(lock.label().to_string())),
+                    ("test", Json::Str(kernel.label().to_string())),
+                    ("scheme", Json::Str(scheme.label().to_string())),
+                    ("mean_makespan_cycles", Json::Float(*t)),
+                    ("norm_runtime", Json::Float(t / baseline)),
+                ]));
             }
             table.row(cells);
         }
@@ -67,6 +76,9 @@ fn main() {
             table.write_csv(dir, &format!("fig11_stamp_{}", lock.label().to_lowercase()));
         }
         println!();
+    }
+    if let Some(dir) = &args.metrics {
+        report.write(dir);
     }
     println!(
         "Paper shape check: HLE column ~1 for MCS but <1 for TTAS on several tests; \

@@ -15,6 +15,7 @@
 //! operation on small trees with 30-70% completing speculatively, and
 //! nearly all speculative on large trees.
 
+use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, f3, Table};
 use elision_bench::{run_tree_bench_avg, size_sweep, CliArgs, TreeBenchSpec};
 use elision_core::{LockKind, SchemeKind};
@@ -40,11 +41,13 @@ fn main() {
         "frac-nonspec",
         "frac-arrive-held",
     ]);
+    let mut report = MetricsReport::new("fig2_lemming", &args);
     for &size in &sizes {
         for lock in [LockKind::Ttas, LockKind::Mcs] {
             let mut spec =
                 TreeBenchSpec::new(SchemeKind::Hle, lock, args.threads, size, OpMix::MODERATE);
             spec.ops_per_thread = ops;
+            spec.window = args.window;
             spec.faults = fault_plan;
             spec.htm = spec.htm.with_faults(htm_faults);
             let hle = run_tree_bench_avg(&spec, args.seeds);
@@ -59,11 +62,23 @@ fn main() {
                 f3(hle.counters.frac_nonspeculative()),
                 f3(hle.counters.frac_arrived_lock_held()),
             ]);
+            report.push_result(
+                vec![
+                    ("size", Json::Uint(size as u64)),
+                    ("lock", Json::Str(lock.label().to_string())),
+                    ("speedup_vs_std", Json::Float(hle.throughput / std.throughput)),
+                    ("frac_arrived_lock_held", Json::Float(hle.counters.frac_arrived_lock_held())),
+                ],
+                &hle,
+            );
         }
     }
     table.print();
     if let Some(dir) = &args.csv {
         table.write_csv(dir, "fig2_lemming");
+    }
+    if let Some(dir) = &args.metrics {
+        report.write(dir);
     }
 
     println!(

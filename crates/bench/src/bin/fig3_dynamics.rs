@@ -9,6 +9,7 @@
 //! TTAS is mostly speculative with serialization bursts in which
 //! throughput drops by up to ~2.5x.
 
+use elision_bench::metrics::{cause_histogram_json, Json, MetricsReport};
 use elision_bench::report::{f2, f3, Table};
 use elision_bench::{run_tree_bench, CliArgs, TreeBenchSpec};
 use elision_core::{LockKind, SchemeKind};
@@ -22,15 +23,18 @@ fn main() {
     let ops = if args.quick { 500 } else { 2000 };
 
     println!("== Figure 3: serialization dynamics over time (HLE, size-64 tree) ==\n");
+    let mut report = MetricsReport::new("fig3_dynamics", &args);
     for lock in [LockKind::Mcs, LockKind::Ttas] {
         let mut spec =
             TreeBenchSpec::new(SchemeKind::Hle, lock, args.threads, TREE_SIZE, OpMix::MODERATE);
         spec.ops_per_thread = ops;
+        spec.window = args.window;
         // Calibrate the slot width from an untimed first run.
         let calib = run_tree_bench(&spec);
         spec.slot_cycles = Some((calib.makespan / SLOTS).max(1));
         let r = run_tree_bench(&spec);
         let slots = r.slots.expect("slot series requested");
+        let causes = r.cause_slots.expect("cause slot series requested");
 
         println!("--- {} lock ---", lock.label());
         let mut table = Table::new(&["slot", "norm-throughput", "frac-nonspec"]);
@@ -40,6 +44,16 @@ fn main() {
                 f2(slots.normalized_throughput[i]),
                 f3(slots.frac_nonspec[i]),
             ]);
+            report.push_row(Json::obj(vec![
+                ("lock", Json::Str(lock.label().to_string())),
+                ("slot", Json::Uint(i as u64)),
+                ("norm_throughput", Json::Float(slots.normalized_throughput[i])),
+                ("frac_nonspeculative", Json::Float(slots.frac_nonspec[i])),
+                (
+                    "abort_causes",
+                    cause_histogram_json(&causes.slots.get(i).copied().unwrap_or_default()),
+                ),
+            ]));
         }
         table.print();
         if let Some(dir) = &args.csv {
@@ -51,6 +65,9 @@ fn main() {
             slots.worst_slowdown(),
             avg_nonspec
         );
+    }
+    if let Some(dir) = &args.metrics {
+        report.write(dir);
     }
     println!(
         "Paper shape check: MCS per-slot frac-nonspec ~1 throughout; TTAS mostly \

@@ -9,6 +9,7 @@
 //! sizes; HLE-TTAS gains little on small trees but large speedups (up to
 //! ~14x in the paper's lookup-only workload) as the tree grows.
 
+use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, Table};
 use elision_bench::{run_tree_bench_avg, size_sweep, CliArgs, TreeBenchSpec};
 use elision_core::{LockKind, SchemeKind};
@@ -22,6 +23,7 @@ fn main() {
     println!("== Figure 4: HLE speedup over the standard version of each lock ==");
     println!("{} threads; baseline y=1 is the standard lock\n", args.threads);
 
+    let mut report = MetricsReport::new("fig4_hle_speedup", &args);
     for (label, mix) in OpMix::LEVELS {
         println!("--- {label} ---");
         let mut table = Table::new(&["size", "TTAS", "MCS"]);
@@ -30,11 +32,21 @@ fn main() {
             for lock in [LockKind::Ttas, LockKind::Mcs] {
                 let mut spec = TreeBenchSpec::new(SchemeKind::Hle, lock, args.threads, size, mix);
                 spec.ops_per_thread = ops;
+                spec.window = args.window;
                 let hle = run_tree_bench_avg(&spec, args.seeds);
                 let mut std_spec = spec;
                 std_spec.scheme = SchemeKind::Standard;
                 let std = run_tree_bench_avg(&std_spec, args.seeds);
                 cells.push(f2(hle.throughput / std.throughput));
+                report.push_result(
+                    vec![
+                        ("workload", Json::Str(label.to_string())),
+                        ("size", Json::Uint(size as u64)),
+                        ("lock", Json::Str(lock.label().to_string())),
+                        ("speedup_vs_std", Json::Float(hle.throughput / std.throughput)),
+                    ],
+                    &hle,
+                );
             }
             table.row(cells);
         }
@@ -47,6 +59,9 @@ fn main() {
             table.write_csv(dir, &format!("fig4_hle_speedup_{slug}"));
         }
         println!();
+    }
+    if let Some(dir) = &args.metrics {
+        report.write(dir);
     }
     println!(
         "Paper shape check: MCS stays at ~1x everywhere; TTAS grows with tree size, \

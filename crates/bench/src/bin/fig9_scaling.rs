@@ -11,6 +11,7 @@
 //! SLR, SLR-SCM) scale with the thread count for both locks, closing the
 //! gap between MCS and TTAS.
 
+use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, Table};
 use elision_bench::{run_tree_bench_avg, CliArgs, TreeBenchSpec};
 use elision_core::{LockKind, SchemeKind};
@@ -31,8 +32,10 @@ fn main() {
     let mut base_spec =
         TreeBenchSpec::new(SchemeKind::NoLock, LockKind::Ttas, 1, TREE_SIZE, OpMix::MODERATE);
     base_spec.ops_per_thread = ops;
+    base_spec.window = args.window;
     let base = run_tree_bench_avg(&base_spec, args.seeds).throughput;
 
+    let mut report = MetricsReport::new("fig9_scaling", &args);
     for lock in [LockKind::Ttas, LockKind::Mcs] {
         println!("--- {} lock ---", lock.label());
         let mut headers = vec!["threads".to_string()];
@@ -44,8 +47,18 @@ fn main() {
             for scheme in SchemeKind::ALL {
                 let mut spec = TreeBenchSpec::new(scheme, lock, t, TREE_SIZE, OpMix::MODERATE);
                 spec.ops_per_thread = ops;
+                spec.window = args.window;
                 let r = run_tree_bench_avg(&spec, args.seeds);
                 cells.push(f2(r.throughput / base));
+                report.push_result(
+                    vec![
+                        ("lock", Json::Str(lock.label().to_string())),
+                        ("threads", Json::Uint(t as u64)),
+                        ("scheme", Json::Str(scheme.label().to_string())),
+                        ("norm_throughput", Json::Float(r.throughput / base)),
+                    ],
+                    &r,
+                );
             }
             table.row(cells);
         }
@@ -54,6 +67,9 @@ fn main() {
             table.write_csv(dir, &format!("fig9_scaling_{}", lock.label().to_lowercase()));
         }
         println!();
+    }
+    if let Some(dir) = &args.metrics {
+        report.write(dir);
     }
     println!(
         "Paper shape check: HLE-MCS flat at all thread counts; software-assisted \

@@ -6,8 +6,9 @@
 //! both locks at the three contention levels, normalized to plain HLE of
 //! the same lock.
 
+use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, Table};
-use elision_bench::{run_hash_bench, CliArgs, HashBenchSpec, BENCH_WINDOW};
+use elision_bench::{run_hash_bench, CliArgs, HashBenchSpec};
 use elision_core::{LockKind, SchemeConfig, SchemeKind};
 use elision_htm::HtmConfig;
 use elision_structures::OpMix;
@@ -27,6 +28,7 @@ fn main() {
         args.threads
     );
 
+    let mut report = MetricsReport::new("hashtable_bench", &args);
     for lock in [LockKind::Ttas, LockKind::Mcs] {
         println!("--- {} lock ---", lock.label());
         let mut headers = vec!["mix".to_string()];
@@ -41,7 +43,7 @@ fn main() {
                 size,
                 mix,
                 ops_per_thread: ops,
-                window: BENCH_WINDOW,
+                window: args.window,
                 htm: HtmConfig::haswell().with_faults(htm_faults),
                 seed: 42,
                 scheme_cfg: SchemeConfig::paper(),
@@ -54,6 +56,15 @@ fn main() {
                 spec.scheme = scheme;
                 let r = run_hash_bench(&spec);
                 cells.push(f2(r.throughput / hle.throughput));
+                report.push_result(
+                    vec![
+                        ("lock", Json::Str(lock.label().to_string())),
+                        ("mix", Json::Str(label.to_string())),
+                        ("scheme", Json::Str(scheme.label().to_string())),
+                        ("speedup_vs_hle", Json::Float(r.throughput / hle.throughput)),
+                    ],
+                    &r,
+                );
             }
             table.row(cells);
         }
@@ -62,6 +73,9 @@ fn main() {
             table.write_csv(dir, &format!("hashtable_{}", lock.label().to_lowercase()));
         }
         println!();
+    }
+    if let Some(dir) = &args.metrics {
+        report.write(dir);
     }
     println!(
         "Paper shape check: same ordering as the small-tree (short transaction) end \

@@ -15,8 +15,15 @@ pub struct CliArgs {
     pub seeds: u64,
     /// Simulated thread count.
     pub threads: usize,
+    /// Scheduler lag window in cycles (`--window N`). The default of 0
+    /// keeps every run — and thus every CSV/JSON artifact — a pure
+    /// function of the seeds; larger windows trade that reproducibility
+    /// for host speed.
+    pub window: u64,
     /// Directory to drop CSV files into.
     pub csv: Option<PathBuf>,
+    /// Directory to drop JSON metrics files into (`--metrics DIR`).
+    pub metrics: Option<PathBuf>,
     /// Fault-injection profile to run the sweep under (`--chaos NAME`;
     /// defaults to no injection).
     pub chaos: ChaosProfile,
@@ -29,7 +36,9 @@ impl Default for CliArgs {
             full: false,
             seeds: 3,
             threads: crate::PAPER_THREADS,
+            window: 0,
             csv: None,
+            metrics: None,
             chaos: ChaosProfile::None,
         }
     }
@@ -66,6 +75,17 @@ impl CliArgs {
                         it.next().unwrap_or_else(|| usage("--csv needs a directory")),
                     ));
                 }
+                "--window" => {
+                    out.window = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--window needs a number"));
+                }
+                "--metrics" => {
+                    out.metrics = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| usage("--metrics needs a directory")),
+                    ));
+                }
                 "--chaos" => {
                     let name = it.next().unwrap_or_else(|| usage("--chaos needs a profile name"));
                     out.chaos = ChaosProfile::parse(&name).unwrap_or_else(|| {
@@ -86,7 +106,8 @@ impl CliArgs {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: <bin> [--quick] [--full] [--seeds N] [--threads N] [--csv DIR] [--chaos PROFILE]"
+        "usage: <bin> [--quick] [--full] [--seeds N] [--threads N] [--window N] [--csv DIR] \
+         [--metrics DIR] [--chaos PROFILE]"
     );
     eprintln!("chaos profiles: {}", crate::chaos::ChaosProfile::ALL.map(|p| p.label()).join(", "));
     std::process::exit(2);
@@ -116,6 +137,19 @@ mod tests {
         assert_eq!(a.seeds, 5);
         assert_eq!(a.threads, 4);
         assert_eq!(a.csv.unwrap(), PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn window_defaults_to_deterministic() {
+        assert_eq!(parse(&[]).window, 0);
+        assert_eq!(parse(&["--window", "16"]).window, 16);
+    }
+
+    #[test]
+    fn metrics_dir_parses() {
+        assert!(parse(&[]).metrics.is_none());
+        let a = parse(&["--metrics", "results"]);
+        assert_eq!(a.metrics.unwrap(), PathBuf::from("results"));
     }
 
     #[test]

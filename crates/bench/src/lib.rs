@@ -12,6 +12,7 @@
 
 pub mod chaos;
 pub mod cli;
+pub mod metrics;
 pub mod report;
 pub mod treebench;
 

@@ -46,7 +46,7 @@ impl Table {
             out.push('\n');
         };
         line(&mut out, &self.headers);
-        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
         out.push_str(&"-".repeat(total));
         out.push('\n');
         for row in &self.rows {
@@ -68,9 +68,11 @@ impl Table {
     pub fn write_csv(&self, dir: &Path, name: &str) {
         fs::create_dir_all(dir).expect("creating CSV directory");
         let mut out = String::new();
+        // RFC 4180: quote any cell containing a comma, quote, or line
+        // break, doubling internal quotes.
         let esc = |s: &str| {
-            if s.contains(',') {
-                format!("\"{s}\"")
+            if s.contains([',', '"', '\n', '\r']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
             } else {
                 s.to_string()
             }
@@ -118,6 +120,24 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn zero_column_table_renders() {
+        let t = Table::new(&[]);
+        let r = t.render();
+        assert_eq!(r, "\n\n", "header line + empty rule, no panic");
+    }
+
+    #[test]
+    fn csv_escapes_quotes_and_line_breaks() {
+        let dir = std::env::temp_dir().join("elision-bench-test-csv-esc");
+        let mut t = Table::new(&["plain", "q\"uote"]);
+        t.row(vec!["line\nbreak".into(), "cr\rhere".into()]);
+        t.write_csv(&dir, "t");
+        let body = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(body, "plain,\"q\"\"uote\"\n\"line\nbreak\",\"cr\rhere\"\n");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

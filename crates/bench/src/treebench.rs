@@ -8,7 +8,7 @@
 
 use elision_core::{make_scheme, SchemeConfig, SchemeKind, Watchdog};
 use elision_htm::{harness, HtmConfig, MemoryBuilder, TxnStats};
-use elision_sim::{FaultPlan, FaultStats, OpCounters, SlotRecorder, SlotSeries};
+use elision_sim::{CauseSlotSeries, FaultPlan, FaultStats, OpCounters, SlotRecorder, SlotSeries};
 use elision_structures::{key_domain, HashTable, OpMix, RbTree, TreeOp};
 use std::sync::Arc;
 use std::sync::Mutex;
@@ -83,6 +83,8 @@ pub struct TreeBenchResult {
     pub txn_stats: TxnStats,
     /// Per-slot series (when requested).
     pub slots: Option<SlotSeries>,
+    /// Per-slot abort-cause series (when slots are requested).
+    pub cause_slots: Option<CauseSlotSeries>,
     /// Per-operation starvation accounting (attempts, completion cycles).
     pub watchdog: Watchdog,
     /// Merged injected-fault statistics (all-zero without a fault plan).
@@ -138,6 +140,9 @@ pub fn run_tree_bench(spec: &TreeBenchSpec) -> TreeBenchResult {
             Arc::clone(&mem),
             move |s| {
                 let mut slots = slot_cycles.map(SlotRecorder::new);
+                if let Some(width) = slot_cycles {
+                    s.enable_cause_slots(width);
+                }
                 let mut watchdog = Watchdog::new(0);
                 for _ in 0..ops {
                     // Draw the operation before entering the critical section
@@ -158,19 +163,32 @@ pub fn run_tree_bench(spec: &TreeBenchSpec) -> TreeBenchResult {
                 if let Some(rec) = slots {
                     slot_sink.lock().expect("slot sink").push(rec);
                 }
-                (s.counters, s.stats, watchdog)
+                (s.counters, s.stats, watchdog, s.cause_slots.take())
             },
         )
     };
 
     let total_ops = spec.ops_per_thread * spec.threads as u64;
-    let counters = OpCounters::sum(results.iter().map(|(c, _, _)| c));
+    let counters = OpCounters::sum(results.iter().map(|(c, _, _, _)| c));
     let mut txn_stats = TxnStats::default();
     let mut watchdog = Watchdog::new(0);
-    for (_, t, w) in &results {
+    let mut cause_recs = Vec::new();
+    for (_, t, w, cs) in &results {
         txn_stats.merge(t);
         watchdog.merge(w);
+        if let Some(cs) = cs {
+            cause_recs.push(cs.clone());
+        }
     }
+    let cause_slots = {
+        let mut iter = cause_recs.into_iter();
+        iter.next().map(|mut first| {
+            for rec in iter {
+                first.merge(&rec);
+            }
+            first.into_series()
+        })
+    };
     let fault_stats = fault_stats.iter().fold(FaultStats::default(), |mut acc, f| {
         acc.merge(f);
         acc
@@ -196,6 +214,7 @@ pub fn run_tree_bench(spec: &TreeBenchSpec) -> TreeBenchResult {
         makespan,
         txn_stats,
         slots,
+        cause_slots,
         watchdog,
         fault_stats,
         breaker_trips: scheme.breaker_trips(),
@@ -230,6 +249,7 @@ pub fn run_tree_bench_avg(spec: &TreeBenchSpec, seeds: u64) -> TreeBenchResult {
         makespan: makespan / n,
         txn_stats,
         slots: None,
+        cause_slots: None,
         watchdog,
         fault_stats,
         breaker_trips,
@@ -343,6 +363,7 @@ pub fn run_hash_bench(spec: &HashBenchSpec) -> TreeBenchResult {
         makespan,
         txn_stats,
         slots: None,
+        cause_slots: None,
         watchdog,
         fault_stats,
         breaker_trips: scheme.breaker_trips(),
@@ -386,6 +407,28 @@ mod tests {
         assert!(!slots.is_empty());
         let total: u64 = slots.completed.iter().sum();
         assert_eq!(total, 100);
+        let causes = r.cause_slots.expect("cause slots requested");
+        assert_eq!(causes.totals().total(), r.counters.aborted, "every abort lands in a slot");
+    }
+
+    #[test]
+    fn abort_cause_accounting_balances() {
+        // The telemetry invariant across a real benchmark run: the
+        // abort-cause histogram sums to the aborted-attempt count, and
+        // attempts balance (S + N + A == total attempts).
+        for scheme in [SchemeKind::Hle, SchemeKind::HleScm, SchemeKind::OptSlr] {
+            let r = run_tree_bench(&tiny_spec(scheme, LockKind::Mcs));
+            assert_eq!(
+                r.counters.causes.total(),
+                r.counters.aborted,
+                "{scheme}: cause histogram must sum to aborted attempts"
+            );
+            assert_eq!(r.counters.causes.total(), r.txn_stats.aborts());
+            assert_eq!(
+                r.counters.total_attempts(),
+                r.counters.speculative + r.counters.nonspeculative + r.counters.aborted
+            );
+        }
     }
 
     #[test]

@@ -261,6 +261,12 @@ pub struct Scheme {
     /// Auxiliary serializing locks: empty for non-SCM schemes, one for
     /// classic SCM, several for grouped SCM.
     aux: Vec<Arc<dyn RawLock>>,
+    /// Round-robin cursor spreading grouped-SCM aborts that carry no
+    /// conflict line (capacity, explicit) across the auxiliary locks.
+    aux_rr: AtomicU64,
+    /// Per-auxiliary-lock acquisition counts (telemetry; lets tests and
+    /// diagnostics verify grouped SCM actually spreads serialization).
+    aux_traffic: Vec<AtomicU64>,
     /// Shared circuit-breaker state (used only when `cfg.breaker` is set).
     breaker: BreakerState,
 }
@@ -355,11 +361,15 @@ impl Scheme {
         if kind.uses_aux() && aux.is_none() {
             return Err(SchemeError::MissingAuxLock(kind));
         }
+        let aux: Vec<_> = aux.into_iter().collect();
+        let aux_traffic = aux.iter().map(|_| AtomicU64::new(0)).collect();
         Ok(Scheme {
             kind,
             cfg,
             main,
-            aux: aux.into_iter().collect(),
+            aux,
+            aux_rr: AtomicU64::new(0),
+            aux_traffic,
             breaker: BreakerState::default(),
         })
     }
@@ -380,13 +390,22 @@ impl Scheme {
         if aux.is_empty() {
             return Err(SchemeError::NoAuxLocks);
         }
+        let aux_traffic = aux.iter().map(|_| AtomicU64::new(0)).collect();
         Ok(Scheme {
             kind: SchemeKind::GroupedScm,
             cfg,
             main,
             aux,
+            aux_rr: AtomicU64::new(0),
+            aux_traffic,
             breaker: BreakerState::default(),
         })
+    }
+
+    /// Per-auxiliary-lock acquisition counts since construction (empty
+    /// for schemes without auxiliary locks).
+    pub fn aux_acquisitions(&self) -> Vec<u64> {
+        self.aux_traffic.iter().map(|c| c.load(Ordering::SeqCst)).collect()
     }
 
     /// How many times the speculation circuit breaker has tripped since
@@ -641,6 +660,7 @@ impl Scheme {
             s.counters.record(AttemptKind::NonSpeculative);
             return ExecOutcome { value, nonspeculative: true, attempts: 1 };
         };
+        let mut aux_idx = 0usize;
         let mut aux_owner = false;
         let mut retries = 0u32;
         let mut attempts = 0u32;
@@ -702,14 +722,21 @@ impl Scheme {
             // auxiliary lock; the holder rejoins the speculative run.
             if !aux_owner {
                 if self.kind == SchemeKind::GroupedScm && self.aux.len() > 1 {
-                    let group = status
-                        .conflict_line
-                        .map(|l| {
+                    let group = match status.conflict_line {
+                        Some(l) => {
                             (l as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize % self.aux.len()
-                        })
-                        .unwrap_or(0);
+                        }
+                        // Capacity and explicit aborts carry no conflict
+                        // line; spread them round-robin so they do not all
+                        // dog-pile on aux[0].
+                        None => {
+                            self.aux_rr.fetch_add(1, Ordering::Relaxed) as usize % self.aux.len()
+                        }
+                    };
                     aux = &self.aux[group];
+                    aux_idx = group;
                 }
+                self.aux_traffic[aux_idx].fetch_add(1, Ordering::Relaxed);
                 aux.acquire(s).expect("aux acquire cannot abort");
                 aux_owner = true;
             } else {

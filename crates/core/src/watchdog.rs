@@ -65,6 +65,11 @@ impl Watchdog {
         self.violations
     }
 
+    /// Total attempts across all recorded operations.
+    pub fn total_attempts(&self) -> u64 {
+        self.total_attempts
+    }
+
     /// Mean attempts per operation (0.0 when nothing recorded).
     pub fn mean_attempts(&self) -> f64 {
         if self.cycles.is_empty() {

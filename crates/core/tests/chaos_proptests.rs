@@ -145,6 +145,16 @@ proptest! {
         prop_assert_eq!(counters.completed(), threads as u64 * ops);
         prop_assert!(watchdog.max_attempts() <= ATTEMPT_CAP,
             "an operation needed {} attempts", watchdog.max_attempts());
+        // Attempt accounting must balance under every fault plan: each
+        // attempt the watchdog saw is exactly one speculative commit, one
+        // non-speculative run, or one abort — and every abort carries
+        // exactly one classified cause.
+        prop_assert_eq!(
+            watchdog.total_attempts(),
+            counters.speculative + counters.nonspeculative + counters.aborted,
+            "attempt accounting out of balance for {} over {}", kind, lock);
+        prop_assert_eq!(counters.causes.total(), counters.aborted,
+            "every abort must have exactly one classified cause");
     }
 
     /// Committed SLR executions never observe a broken invariant, even

@@ -164,6 +164,36 @@ fn grouped_scm_state_is_consistent_after_storms() {
 }
 
 #[test]
+fn grouped_scm_spreads_lineless_aborts_across_aux_locks() {
+    // Capacity aborts carry no conflict line; before the round-robin fix
+    // every such abort serialized on aux[0], defeating the grouping.
+    let mut b = MemoryBuilder::new().words_per_line(1);
+    let vars = b.alloc_array(16, 0);
+    b.pad_to_line();
+    let scheme = make_grouped_scm(LockKind::Ttas, 4, SchemeConfig::paper(), &mut b, 1);
+    let probe = Arc::clone(&scheme);
+    let mem = b.freeze(1);
+    let htm = HtmConfig::deterministic().with_capacity(64, 4);
+    harness::run(1, 0, htm, 1, mem, move |s| {
+        for _ in 0..8 {
+            scheme.execute(s, |s| {
+                for k in 0..8 {
+                    s.store(VarId::from_index(vars.index() + k), 1)?;
+                }
+                Ok(())
+            });
+        }
+    });
+    let traffic = probe.aux_acquisitions();
+    assert_eq!(traffic.len(), 4, "one traffic counter per auxiliary lock");
+    assert_eq!(traffic.iter().sum::<u64>(), 8, "one aux acquisition per operation");
+    assert!(
+        traffic.iter().filter(|&&c| c > 0).count() >= 2,
+        "line-less aborts must spread over multiple aux locks: {traffic:?}"
+    );
+}
+
+#[test]
 fn labels_and_display() {
     assert_eq!(SchemeKind::GroupedScm.label(), "grouped-SCM");
     assert_eq!(format!("{}", SchemeKind::OptSlr), "opt SLR");

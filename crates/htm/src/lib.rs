@@ -650,6 +650,65 @@ mod tests {
     }
 
     #[test]
+    fn abort_causes_classified_by_lock_line() {
+        use elision_sim::AbortCause;
+        let mut b = MemoryBuilder::new();
+        let lock = b.alloc_lock_word(0);
+        let data = b.alloc_isolated(0);
+        let mem = b.freeze(1);
+        let cfg = HtmConfig::deterministic().with_capacity(1, 64);
+        harness::run(1, 0, cfg, 1, mem, move |s| {
+            s.enable_cause_slots(1_000_000);
+            // Conflict on the lock word's line -> lock-word conflict.
+            s.begin();
+            s.load(lock).unwrap();
+            let line = s.memory().line_of(lock);
+            s.memory().doom_thread(0, line);
+            s.load(lock).unwrap_err();
+            assert_eq!(s.counters.causes.get(AbortCause::LockWordConflict), 1);
+            // Conflict on a data line -> data conflict.
+            s.begin();
+            s.load(data).unwrap();
+            let line = s.memory().line_of(data);
+            s.memory().doom_thread(0, line);
+            s.load(data).unwrap_err();
+            assert_eq!(s.counters.causes.get(AbortCause::DataConflict), 1);
+            // Read-set overflow -> capacity.
+            s.begin();
+            s.load(data).unwrap();
+            s.load(lock).unwrap_err();
+            assert_eq!(s.last_abort().reason, AbortReason::Capacity);
+            assert_eq!(s.counters.causes.get(AbortCause::Capacity), 1);
+            // XABORT -> explicit.
+            s.begin();
+            let _ = s.xabort(7, false);
+            assert_eq!(s.counters.causes.get(AbortCause::Explicit), 1);
+            // The taxonomy total matches the raw abort count, and the
+            // slot series buckets every abort.
+            assert_eq!(s.counters.causes.total(), s.stats.aborts());
+            let slots = s.cause_slots.take().expect("enabled").into_series();
+            assert_eq!(slots.totals(), s.counters.causes);
+        });
+    }
+
+    #[test]
+    fn injected_spurious_aborts_classify_as_fault_injected() {
+        use elision_sim::AbortCause;
+        let (mem, x) = one_var_mem(1, 0);
+        let cfg = HtmConfig::deterministic().with_faults(HtmFaults::none().with_storm(
+            u64::MAX,
+            u64::MAX,
+            1000,
+        ));
+        harness::run(1, 0, cfg, 1, mem, move |s| {
+            s.begin();
+            s.load(x).unwrap_err();
+            assert_eq!(s.counters.causes.get(AbortCause::FaultInjected), 1);
+            assert_eq!(s.counters.causes.total(), 1);
+        });
+    }
+
+    #[test]
     fn faulted_runs_are_deterministic() {
         let run_once = || {
             let mut b = MemoryBuilder::new();

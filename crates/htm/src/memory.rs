@@ -84,12 +84,16 @@ impl LineMeta {
 pub struct MemoryBuilder {
     values: Vec<u64>,
     words_per_line: usize,
+    /// Words registered as lock words (lock constructors mark their
+    /// allocations); frozen into the per-line lock map that lets the HTM
+    /// classify conflict aborts as lock-word vs data conflicts.
+    lock_words: Vec<VarId>,
 }
 
 impl MemoryBuilder {
     /// Create a builder with the default line width of 8 words (64 bytes).
     pub fn new() -> Self {
-        MemoryBuilder { values: Vec::new(), words_per_line: 8 }
+        MemoryBuilder { values: Vec::new(), words_per_line: 8, lock_words: Vec::new() }
     }
 
     /// Override the number of words per cache line.
@@ -131,6 +135,28 @@ impl MemoryBuilder {
         id
     }
 
+    /// Register `var` as a lock word. Conflict aborts whose dooming
+    /// access hit a line containing a lock word are classified as
+    /// lock-word conflicts (the lemming-effect signature) by the
+    /// abort-cause telemetry; every lock constructor marks the words it
+    /// allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not allocated by this builder.
+    pub fn mark_lock_word(&mut self, var: VarId) {
+        assert!((var.0 as usize) < self.values.len(), "marking an unallocated word as a lock word");
+        self.lock_words.push(var);
+    }
+
+    /// Allocate one isolated word (own cache line) already marked as a
+    /// lock word — the common shape of a lock-state allocation.
+    pub fn alloc_lock_word(&mut self, init: u64) -> VarId {
+        let id = self.alloc_isolated(init);
+        self.mark_lock_word(id);
+        id
+    }
+
     /// Pad the allocation cursor to the next line boundary, so the next
     /// allocation starts a fresh line.
     pub fn pad_to_line(&mut self) {
@@ -160,9 +186,14 @@ impl MemoryBuilder {
         assert!((1..=64).contains(&threads), "1..=64 simulated threads supported");
         let wpl = self.words_per_line;
         let n_lines = self.values.len().div_ceil(wpl).max(1);
+        let mut lock_lines = vec![false; n_lines];
+        for var in &self.lock_words {
+            lock_lines[var.0 as usize / wpl] = true;
+        }
         Memory {
             words: self.values.into_iter().map(AtomicU64::new).collect(),
             lines: (0..n_lines).map(|_| LineMeta::new()).collect(),
+            lock_lines,
             dooms: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             doom_lines: (0..threads).map(|_| AtomicU64::new(u64::MAX)).collect(),
             epochs: (0..threads).map(|_| AtomicU64::new(0)).collect(),
@@ -177,6 +208,8 @@ impl MemoryBuilder {
 pub struct Memory {
     words: Vec<AtomicU64>,
     lines: Vec<LineMeta>,
+    /// `lock_lines[l]`: line `l` contains at least one lock word.
+    lock_lines: Vec<bool>,
     /// Per-thread doom word: `(epoch << 8) | reason_code`, meaningful only
     /// while it matches the victim's current (odd) epoch.
     dooms: Vec<AtomicU64>,
@@ -218,6 +251,13 @@ impl Memory {
     pub fn line_of(&self, var: VarId) -> LineId {
         debug_assert!(var != VarId::NULL, "dereferencing NULL");
         LineId(var.0 / self.words_per_line as u32)
+    }
+
+    /// Whether the raw line index holds a lock word (see
+    /// [`MemoryBuilder::mark_lock_word`]). Out-of-range indices report
+    /// `false`.
+    pub fn is_lock_line(&self, line: u32) -> bool {
+        self.lock_lines.get(line as usize).copied().unwrap_or(false)
     }
 
     /// Read a word without any simulation bookkeeping. For setup,
@@ -420,5 +460,26 @@ mod tests {
     #[should_panic(expected = "1..=64")]
     fn too_many_threads_rejected() {
         MemoryBuilder::new().freeze(65);
+    }
+
+    #[test]
+    fn lock_lines_survive_freeze() {
+        let mut b = MemoryBuilder::new().words_per_line(4);
+        let data = b.alloc(0);
+        let lock = b.alloc_lock_word(0);
+        let marked = b.alloc(0);
+        b.mark_lock_word(marked);
+        let m = b.freeze(1);
+        assert!(!m.is_lock_line(m.line_of(data).raw()));
+        assert!(m.is_lock_line(m.line_of(lock).raw()));
+        assert!(m.is_lock_line(m.line_of(marked).raw()));
+        assert!(!m.is_lock_line(u32::MAX), "out of range is not a lock line");
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn marking_unallocated_word_rejected() {
+        let mut b = MemoryBuilder::new();
+        b.mark_lock_word(VarId(3));
     }
 }

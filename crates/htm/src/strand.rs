@@ -13,7 +13,9 @@
 use crate::abort::{codes, Abort, AbortStatus, TxResult, TxnStats};
 use crate::config::HtmConfig;
 use crate::memory::{LineId, Memory, VarId};
-use elision_sim::{DetRng, OpCounters, SimHandle, TraceEvent, TraceRing};
+use elision_sim::{
+    AbortCause, CauseSlotRecorder, DetRng, OpCounters, SimHandle, TraceEvent, TraceRing,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -68,6 +70,10 @@ pub struct Strand {
     pub counters: OpCounters,
     /// Optional bounded execution trace (see [`Strand::enable_trace`]).
     pub trace: Option<TraceRing>,
+    /// Optional per-time-slot abort-cause series (see
+    /// [`Strand::enable_cause_slots`]); complements the aggregate
+    /// histogram in `counters.causes`.
+    pub cause_slots: Option<CauseSlotRecorder>,
 }
 
 impl Strand {
@@ -95,6 +101,7 @@ impl Strand {
             stats: TxnStats::default(),
             counters: OpCounters::new(),
             trace: None,
+            cause_slots: None,
         }
     }
 
@@ -103,6 +110,17 @@ impl Strand {
     /// replaced.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(TraceRing::new(capacity));
+    }
+
+    /// Start bucketing abort causes by logical-time slots of
+    /// `slot_cycles` cycles (see [`CauseSlotRecorder`]); any previous
+    /// recorder is replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_cycles` is zero.
+    pub fn enable_cause_slots(&mut self, slot_cycles: u64) {
+        self.cause_slots = Some(CauseSlotRecorder::new(slot_cycles));
     }
 
     fn trace_event(&mut self, ev: TraceEvent) {
@@ -308,6 +326,11 @@ impl Strand {
             self.mem.clear_writer(LineId(l), self.tid);
         }
         self.stats.count_abort(status.reason);
+        let cause = self.classify_abort(&status);
+        self.counters.causes.record(cause);
+        if let Some(rec) = self.cause_slots.as_mut() {
+            rec.record(self.sim.now(), cause);
+        }
         let code = match status.reason {
             crate::abort::AbortReason::Conflict => 1,
             crate::abort::AbortReason::Capacity => 2,
@@ -318,6 +341,23 @@ impl Strand {
         self.trace_event(TraceEvent::TxnAbort(code));
         self.last_abort = status;
         self.sim.advance(self.cfg.cost.txn_abort);
+    }
+
+    /// Map a raw abort status onto the telemetry taxonomy. The only
+    /// refinement over [`crate::AbortReason`] is splitting conflicts by
+    /// whether the dooming access hit a cache line holding a lock word
+    /// (best-effort: a conflict with no recorded line counts as data).
+    fn classify_abort(&self, status: &AbortStatus) -> AbortCause {
+        match status.reason {
+            crate::abort::AbortReason::Conflict => match status.conflict_line {
+                Some(line) if self.mem.is_lock_line(line) => AbortCause::LockWordConflict,
+                _ => AbortCause::DataConflict,
+            },
+            crate::abort::AbortReason::Capacity => AbortCause::Capacity,
+            crate::abort::AbortReason::Explicit => AbortCause::Explicit,
+            crate::abort::AbortReason::Spurious => AbortCause::FaultInjected,
+            crate::abort::AbortReason::HleRestore => AbortCause::HleRestore,
+        }
     }
 
     /// Check doom flag and spurious-abort injection; unwinds on failure.

@@ -42,12 +42,12 @@ impl ClhLock {
 
     fn with_adaptation(b: &mut MemoryBuilder, threads: usize, adapted: bool) -> Self {
         // Node `threads` is the initial tail node, unlocked.
-        let node_locked: Vec<VarId> = (0..=threads).map(|_| b.alloc_isolated(UNLOCKED)).collect();
+        let node_locked: Vec<VarId> = (0..=threads).map(|_| b.alloc_lock_word(UNLOCKED)).collect();
         ClhLock {
-            tail: b.alloc_isolated(threads as u64),
+            tail: b.alloc_lock_word(threads as u64),
             node_locked,
-            my_node: (0..threads).map(|t| b.alloc_isolated(t as u64)).collect(),
-            pred: (0..threads).map(|_| b.alloc_isolated(u64::MAX)).collect(),
+            my_node: (0..threads).map(|t| b.alloc_lock_word(t as u64)).collect(),
+            pred: (0..threads).map(|_| b.alloc_lock_word(u64::MAX)).collect(),
             adapted,
         }
     }

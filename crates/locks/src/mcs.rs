@@ -31,9 +31,9 @@ impl McsLock {
     /// field gets its own cache line (threads spin on local nodes).
     pub fn new(b: &mut MemoryBuilder, threads: usize) -> Self {
         McsLock {
-            tail: b.alloc_isolated(NIL),
-            locked: (0..threads).map(|_| b.alloc_isolated(GO)).collect(),
-            next: (0..threads).map(|_| b.alloc_isolated(NIL)).collect(),
+            tail: b.alloc_lock_word(NIL),
+            locked: (0..threads).map(|_| b.alloc_lock_word(GO)).collect(),
+            next: (0..threads).map(|_| b.alloc_lock_word(NIL)).collect(),
         }
     }
 

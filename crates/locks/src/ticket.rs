@@ -38,9 +38,9 @@ impl TicketLock {
 
     fn with_adaptation(b: &mut MemoryBuilder, threads: usize, adapted: bool) -> Self {
         TicketLock {
-            next: b.alloc_isolated(0),
-            owner: b.alloc_isolated(0),
-            cur: (0..threads).map(|_| b.alloc_isolated(0)).collect(),
+            next: b.alloc_lock_word(0),
+            owner: b.alloc_lock_word(0),
+            cur: (0..threads).map(|_| b.alloc_lock_word(0)).collect(),
             adapted,
         }
     }

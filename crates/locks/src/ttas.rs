@@ -20,7 +20,7 @@ pub struct TtasLock {
 impl TtasLock {
     /// Allocate a TTAS lock on its own cache line.
     pub fn new(b: &mut MemoryBuilder) -> Self {
-        TtasLock { word: b.alloc_isolated(FREE) }
+        TtasLock { word: b.alloc_lock_word(FREE) }
     }
 
     /// The lock word (for tests and instrumentation).

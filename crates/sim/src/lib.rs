@@ -56,8 +56,8 @@ pub use cost::CostModel;
 pub use fault::{FaultPlan, FaultStats, PreemptSpec};
 pub use rng::DetRng;
 pub use sched::{Scheduler, SimHandle};
-pub use slots::{SlotRecorder, SlotSeries};
-pub use stats::{AttemptKind, OpCounters};
+pub use slots::{CauseSlotRecorder, CauseSlotSeries, SlotRecorder, SlotSeries};
+pub use stats::{AbortCause, AttemptKind, CauseHistogram, OpCounters};
 pub use trace::{TraceEvent, TraceRing};
 
 use std::sync::Arc;

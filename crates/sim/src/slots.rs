@@ -4,6 +4,13 @@
 //! throughput normalized to the whole-run average and the fraction of
 //! operations completing non-speculatively. Here "time" is simulated
 //! cycles, so a slot is a fixed number of cycles.
+//!
+//! [`CauseSlotRecorder`] buckets *abort causes* by the same slots, so the
+//! serialization dynamics can be read against what triggered them (e.g. a
+//! burst of lock-word conflicts right before a non-speculative plateau —
+//! the lemming effect in time).
+
+use crate::stats::{AbortCause, CauseHistogram};
 
 /// Records completion events bucketed by logical-time slot.
 ///
@@ -123,6 +130,90 @@ impl SlotSeries {
     }
 }
 
+/// Records abort causes bucketed by logical-time slot (one recorder per
+/// thread; merge afterwards, like [`SlotRecorder`]).
+#[derive(Debug, Clone)]
+pub struct CauseSlotRecorder {
+    slot_cycles: u64,
+    slots: Vec<CauseHistogram>,
+}
+
+impl CauseSlotRecorder {
+    /// Create a recorder with the given slot width in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_cycles` is zero.
+    pub fn new(slot_cycles: u64) -> Self {
+        assert!(slot_cycles > 0, "slot width must be positive");
+        CauseSlotRecorder { slot_cycles, slots: Vec::new() }
+    }
+
+    /// Slot width in cycles.
+    pub fn slot_cycles(&self) -> u64 {
+        self.slot_cycles
+    }
+
+    /// Record one abort of `cause` at logical time `now`.
+    pub fn record(&mut self, now: u64, cause: AbortCause) {
+        let slot = (now / self.slot_cycles) as usize;
+        if slot >= self.slots.len() {
+            self.slots.resize(slot + 1, CauseHistogram::new());
+        }
+        self.slots[slot].record(cause);
+    }
+
+    /// Merge another recorder (same slot width) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot widths differ.
+    pub fn merge(&mut self, other: &CauseSlotRecorder) {
+        assert_eq!(self.slot_cycles, other.slot_cycles, "slot widths must match");
+        if other.slots.len() > self.slots.len() {
+            self.slots.resize(other.slots.len(), CauseHistogram::new());
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(&other.slots) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// Finish recording.
+    pub fn into_series(self) -> CauseSlotSeries {
+        CauseSlotSeries { slot_cycles: self.slot_cycles, slots: self.slots }
+    }
+}
+
+/// Per-slot abort-cause histograms derived from a [`CauseSlotRecorder`].
+#[derive(Debug, Clone)]
+pub struct CauseSlotSeries {
+    /// Slot width in cycles.
+    pub slot_cycles: u64,
+    /// One histogram per slot, earliest first.
+    pub slots: Vec<CauseHistogram>,
+}
+
+impl CauseSlotSeries {
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// All slots folded into one histogram.
+    pub fn totals(&self) -> CauseHistogram {
+        let mut acc = CauseHistogram::new();
+        for h in &self.slots {
+            acc.merge(h);
+        }
+        acc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +261,30 @@ mod tests {
         let mut a = SlotRecorder::new(10);
         let b = SlotRecorder::new(20);
         a.merge(&b);
+    }
+
+    #[test]
+    fn cause_slots_bucket_and_merge() {
+        let mut a = CauseSlotRecorder::new(100);
+        a.record(10, AbortCause::LockWordConflict);
+        a.record(150, AbortCause::DataConflict);
+        let mut b = CauseSlotRecorder::new(100);
+        b.record(40, AbortCause::LockWordConflict);
+        b.record(350, AbortCause::Capacity);
+        a.merge(&b);
+        let s = a.into_series();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.slots[0].get(AbortCause::LockWordConflict), 2);
+        assert_eq!(s.slots[1].get(AbortCause::DataConflict), 1);
+        assert_eq!(s.slots[2].total(), 0);
+        assert_eq!(s.totals().total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot widths")]
+    fn cause_slots_reject_mismatched_widths() {
+        let mut a = CauseSlotRecorder::new(10);
+        a.merge(&CauseSlotRecorder::new(20));
     }
 
     #[test]
