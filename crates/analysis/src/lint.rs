@@ -1,0 +1,335 @@
+//! Lock-discipline lints over the merged per-thread trace.
+//!
+//! Operates on the protocol-level [`GlobalTrace`] (transaction
+//! begin/commit/abort, non-speculative lock transitions, subscription
+//! markers) rather than the word-level sanitizer log. The checks are the
+//! paper's "discipline" obligations:
+//!
+//! * begin/commit/abort events balance per thread
+//!   ([`LintId::UnbalancedTxn`]);
+//! * non-speculative acquires and releases pair up, and two threads
+//!   never hold the same lock at once ([`LintId::ReleaseWithoutAcquire`],
+//!   [`LintId::OverlappingAcquire`]);
+//! * lazy-subscription schemes subscribe to the main lock before every
+//!   commit (Figure 5 line 24 — [`LintId::SlrUnsubscribedCommit`]);
+//! * under SCM, only the auxiliary-lock holder takes the main lock
+//!   non-speculatively (paper §6 — [`LintId::ScmMainWithoutAux`]).
+//!
+//! The merged trace orders events by `(time, tid)`. A release and the
+//! next acquire can carry the *same* timestamp (the handoff happens in
+//! one scheduler step), and if the releasing thread has a larger id the
+//! acquire sorts first. The acquire handler therefore looks ahead
+//! through the same-timestamp group for the matching release and applies
+//! it early instead of reporting a phantom overlap.
+
+use crate::{AccessSite, Finding, LintId};
+use elision_sim::{GlobalTrace, TraceEvent};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for [`lint_trace`].
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Require a subscription marker before every commit (SLR/SCM lazy
+    /// or eager subscription schemes).
+    pub require_subscription: bool,
+    /// Enforce the SCM rule: the main lock may only be taken by a
+    /// thread holding an auxiliary lock.
+    pub aux_discipline: bool,
+    /// Raw word index identifying the main lock, if any.
+    pub main_lock: Option<u32>,
+    /// Raw word indices of the auxiliary (SCM) locks.
+    pub aux_locks: Vec<u32>,
+    /// Number of simulated threads.
+    pub threads: usize,
+}
+
+#[derive(Debug, Default, Clone)]
+struct ThreadState {
+    in_txn: bool,
+    subscribed: bool,
+}
+
+/// Run the lock-discipline lints over a merged trace.
+///
+/// The caller must ensure `trace.dropped() == 0`: balanced-pair checks
+/// are meaningless over a truncated trace.
+pub fn lint_trace(cfg: &LintConfig, trace: &GlobalTrace) -> Vec<Finding> {
+    assert_eq!(trace.dropped(), 0, "lint pass requires a complete (undropped) trace");
+    let events = trace.events();
+    let mut threads: Vec<ThreadState> = vec![ThreadState::default(); cfg.threads];
+    let mut holders: HashMap<u32, usize> = HashMap::new();
+    // Indices of LockRelease events already applied early by the
+    // same-timestamp look-ahead.
+    let mut consumed: HashSet<usize> = HashSet::new();
+    let mut findings = Vec::new();
+
+    let site = |seq: usize, tid: usize, time: u64, word: Option<u32>| AccessSite {
+        tid,
+        var: word,
+        line: None,
+        time,
+        seq,
+    };
+
+    for (seq, ev) in events.iter().enumerate() {
+        let tid = ev.tid;
+        if tid >= cfg.threads {
+            continue;
+        }
+        match ev.event {
+            TraceEvent::TxnBegin => {
+                if threads[tid].in_txn {
+                    findings.push(Finding {
+                        lint: LintId::UnbalancedTxn,
+                        message: format!("t{tid} began a transaction while one was live"),
+                        sites: vec![site(seq, tid, ev.time, None)],
+                    });
+                }
+                threads[tid].in_txn = true;
+                threads[tid].subscribed = false;
+            }
+            TraceEvent::TxnCommit => {
+                if !threads[tid].in_txn {
+                    findings.push(Finding {
+                        lint: LintId::UnbalancedTxn,
+                        message: format!("t{tid} committed with no live transaction"),
+                        sites: vec![site(seq, tid, ev.time, None)],
+                    });
+                } else if cfg.require_subscription && !threads[tid].subscribed {
+                    findings.push(Finding {
+                        lint: LintId::SlrUnsubscribedCommit,
+                        message: format!("t{tid} committed without subscribing to the main lock"),
+                        sites: vec![site(seq, tid, ev.time, cfg.main_lock)],
+                    });
+                }
+                threads[tid].in_txn = false;
+                threads[tid].subscribed = false;
+            }
+            TraceEvent::TxnAbort(_) => {
+                if !threads[tid].in_txn {
+                    findings.push(Finding {
+                        lint: LintId::UnbalancedTxn,
+                        message: format!("t{tid} aborted with no live transaction"),
+                        sites: vec![site(seq, tid, ev.time, None)],
+                    });
+                }
+                threads[tid].in_txn = false;
+                threads[tid].subscribed = false;
+            }
+            TraceEvent::Custom("subscribe", _) => {
+                threads[tid].subscribed = true;
+            }
+            TraceEvent::Custom(..) => {}
+            TraceEvent::LockAcquire(word) => {
+                if let Some(&holder) = holders.get(&word) {
+                    if holder != tid {
+                        // Same-timestamp handoff inversion: the
+                        // holder's release may sort after this acquire
+                        // within the same-(time) group. Apply it early.
+                        let mut handed_off = None;
+                        for (off, e) in events[seq + 1..].iter().enumerate() {
+                            if e.time != ev.time {
+                                break;
+                            }
+                            let idx = seq + 1 + off;
+                            if e.tid == holder
+                                && e.event == TraceEvent::LockRelease(word)
+                                && !consumed.contains(&idx)
+                            {
+                                handed_off = Some(idx);
+                                break;
+                            }
+                        }
+                        match handed_off {
+                            Some(idx) => {
+                                consumed.insert(idx);
+                                holders.remove(&word);
+                            }
+                            None => {
+                                findings.push(Finding {
+                                    lint: LintId::OverlappingAcquire,
+                                    message: format!(
+                                        "t{tid} acquired lock word {word} while t{holder} \
+                                         held it"
+                                    ),
+                                    sites: vec![site(seq, tid, ev.time, Some(word))],
+                                });
+                            }
+                        }
+                    }
+                }
+                if cfg.aux_discipline
+                    && Some(word) == cfg.main_lock
+                    && !cfg.aux_locks.iter().any(|aux| holders.get(aux) == Some(&tid))
+                {
+                    findings.push(Finding {
+                        lint: LintId::ScmMainWithoutAux,
+                        message: format!(
+                            "t{tid} took the main lock without holding an auxiliary lock"
+                        ),
+                        sites: vec![site(seq, tid, ev.time, Some(word))],
+                    });
+                }
+                holders.insert(word, tid);
+            }
+            TraceEvent::LockRelease(word) => {
+                if consumed.remove(&seq) {
+                    continue;
+                }
+                if holders.get(&word) == Some(&tid) {
+                    holders.remove(&word);
+                } else {
+                    findings.push(Finding {
+                        lint: LintId::ReleaseWithoutAcquire,
+                        message: format!("t{tid} released lock word {word} it did not hold"),
+                        sites: vec![site(seq, tid, ev.time, Some(word))],
+                    });
+                }
+            }
+        }
+    }
+
+    for (tid, st) in threads.iter().enumerate() {
+        if st.in_txn {
+            findings.push(Finding {
+                lint: LintId::UnbalancedTxn,
+                message: format!("t{tid} ended the run inside a live transaction"),
+                sites: vec![site(events.len(), tid, u64::MAX, None)],
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elision_sim::{AbortCause, TraceRing};
+
+    const MAIN: u32 = 0;
+    const AUX: u32 = 16;
+
+    fn cfg(threads: usize) -> LintConfig {
+        LintConfig {
+            require_subscription: false,
+            aux_discipline: false,
+            main_lock: Some(MAIN),
+            aux_locks: vec![AUX],
+            threads,
+        }
+    }
+
+    fn merged(rings: Vec<(usize, TraceRing)>) -> GlobalTrace {
+        GlobalTrace::merge(rings.iter().map(|(tid, r)| (*tid, r)))
+    }
+
+    #[test]
+    fn balanced_run_is_clean() {
+        let mut r = TraceRing::new(16);
+        r.record(1, TraceEvent::TxnBegin);
+        r.record(2, TraceEvent::TxnAbort(AbortCause::DataConflict));
+        r.record(3, TraceEvent::LockAcquire(MAIN));
+        r.record(4, TraceEvent::LockRelease(MAIN));
+        r.record(5, TraceEvent::TxnBegin);
+        r.record(6, TraceEvent::TxnCommit);
+        assert!(lint_trace(&cfg(1), &merged(vec![(0, r)])).is_empty());
+    }
+
+    #[test]
+    fn double_release_reported() {
+        let mut r = TraceRing::new(8);
+        r.record(1, TraceEvent::LockAcquire(MAIN));
+        r.record(2, TraceEvent::LockRelease(MAIN));
+        r.record(3, TraceEvent::LockRelease(MAIN));
+        let f = lint_trace(&cfg(1), &merged(vec![(0, r)]));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, LintId::ReleaseWithoutAcquire);
+        assert_eq!(f[0].sites[0].seq, 2);
+    }
+
+    #[test]
+    fn unsubscribed_commit_reported_when_required() {
+        let mut r = TraceRing::new(8);
+        r.record(1, TraceEvent::TxnBegin);
+        r.record(2, TraceEvent::TxnCommit);
+        let mut c = cfg(1);
+        c.require_subscription = true;
+        let f = lint_trace(&c, &merged(vec![(0, r)]));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, LintId::SlrUnsubscribedCommit);
+    }
+
+    #[test]
+    fn subscription_marker_suppresses_the_lint() {
+        let mut r = TraceRing::new(8);
+        r.record(1, TraceEvent::TxnBegin);
+        r.record(2, TraceEvent::Custom("subscribe", u64::from(MAIN)));
+        r.record(3, TraceEvent::TxnCommit);
+        let mut c = cfg(1);
+        c.require_subscription = true;
+        assert!(lint_trace(&c, &merged(vec![(0, r)])).is_empty());
+    }
+
+    #[test]
+    fn overlapping_acquire_reported() {
+        let mut r0 = TraceRing::new(8);
+        r0.record(1, TraceEvent::LockAcquire(MAIN));
+        r0.record(9, TraceEvent::LockRelease(MAIN));
+        let mut r1 = TraceRing::new(8);
+        r1.record(5, TraceEvent::LockAcquire(MAIN));
+        r1.record(6, TraceEvent::LockRelease(MAIN));
+        let f = lint_trace(&cfg(2), &merged(vec![(0, r0), (1, r1)]));
+        assert!(f.iter().any(|f| f.lint == LintId::OverlappingAcquire), "{f:?}");
+    }
+
+    #[test]
+    fn same_time_handoff_inversion_is_not_an_overlap() {
+        // t1 releases at time 7 and t0 acquires at time 7: the merge
+        // sorts t0's acquire first, but this is a legal handoff.
+        let mut r0 = TraceRing::new(8);
+        r0.record(7, TraceEvent::LockAcquire(MAIN));
+        r0.record(9, TraceEvent::LockRelease(MAIN));
+        let mut r1 = TraceRing::new(8);
+        r1.record(3, TraceEvent::LockAcquire(MAIN));
+        r1.record(7, TraceEvent::LockRelease(MAIN));
+        assert!(lint_trace(&cfg(2), &merged(vec![(0, r0), (1, r1)])).is_empty());
+    }
+
+    #[test]
+    fn scm_main_without_aux_reported() {
+        let mut c = cfg(2);
+        c.aux_discipline = true;
+        // t0 holds aux then main: fine. t1 takes main bare: lint.
+        let mut r0 = TraceRing::new(8);
+        r0.record(1, TraceEvent::LockAcquire(AUX));
+        r0.record(2, TraceEvent::LockAcquire(MAIN));
+        r0.record(3, TraceEvent::LockRelease(MAIN));
+        r0.record(4, TraceEvent::LockRelease(AUX));
+        let mut r1 = TraceRing::new(8);
+        r1.record(6, TraceEvent::LockAcquire(MAIN));
+        r1.record(7, TraceEvent::LockRelease(MAIN));
+        let f = lint_trace(&c, &merged(vec![(0, r0), (1, r1)]));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, LintId::ScmMainWithoutAux);
+        assert_eq!(f[0].sites[0].tid, 1);
+    }
+
+    #[test]
+    fn commit_without_begin_and_trailing_txn_reported() {
+        let mut r = TraceRing::new(8);
+        r.record(1, TraceEvent::TxnCommit);
+        r.record(2, TraceEvent::TxnBegin);
+        let f = lint_trace(&cfg(1), &merged(vec![(0, r)]));
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.lint == LintId::UnbalancedTxn));
+    }
+
+    #[test]
+    #[should_panic(expected = "undropped")]
+    fn truncated_trace_rejected() {
+        let mut r = TraceRing::new(1);
+        r.record(1, TraceEvent::TxnBegin);
+        r.record(2, TraceEvent::TxnCommit);
+        lint_trace(&cfg(1), &merged(vec![(0, r)]));
+    }
+}

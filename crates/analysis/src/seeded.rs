@@ -1,0 +1,171 @@
+//! Seeded known-bad schedules: the sanitizer's negative tests.
+//!
+//! A sanitizer that has never caught anything is indistinguishable from
+//! one that cannot. These two runs deliberately violate the protocol on
+//! a fixed deterministic schedule and return whatever the analysis
+//! passes found, so the test suite (and the `sanitize_all` CI job) can
+//! assert the violations are caught with the right lint IDs and
+//! provenance:
+//!
+//! * [`broken_slr_schedule`] — the unsafe-lazy-subscription pitfall of
+//!   paper §5: a transaction reads data a non-speculative lock holder
+//!   is mutating and commits without ever subscribing to the lock.
+//!   Expected: [`LintId::DataRace`] + [`LintId::CommitWhileLockHeld`] +
+//!   [`LintId::SlrUnsubscribedCommit`].
+//! * [`double_release_schedule`] — a thread releases a lock it no
+//!   longer holds. Expected: [`LintId::ReleaseWithoutAcquire`].
+
+use crate::lint::{lint_trace, LintConfig};
+use crate::opacity::{check_opacity, OpacityConfig, OpacityPolicy};
+use crate::race::{detect_races, RaceConfig};
+use crate::Finding;
+use elision_htm::{harness, HtmConfig, Memory, MemoryBuilder};
+use elision_locks::{RawLock, TtasLock};
+use elision_sim::GlobalTrace;
+use std::sync::Arc;
+
+fn race_cfg(mem: &Memory, threads: usize) -> RaceConfig {
+    RaceConfig {
+        threads,
+        words_per_line: mem.words_per_line() as u32,
+        lock_lines: (0..mem.line_count()).map(|l| mem.is_lock_line(l as u32)).collect(),
+    }
+}
+
+/// Run the broken eager-commit SLR variant: the transaction skips the
+/// subscription read (Figure 5 line 24) and commits while the lock
+/// holder is mid-critical-section. Returns all findings.
+pub fn broken_slr_schedule() -> Vec<Finding> {
+    let mut b = MemoryBuilder::new();
+    b.enable_sanitizer();
+    let lock = Arc::new(TtasLock::new(&mut b));
+    let x = b.alloc_isolated(0);
+    let y = b.alloc_isolated(0);
+    let mem = Arc::new(b.freeze(2));
+    let threads = 2;
+
+    let (rings, _makespan) = {
+        let lock = Arc::clone(&lock);
+        harness::run_arc(
+            threads,
+            0, // strict window: required for log soundness
+            HtmConfig::deterministic(),
+            7,
+            Arc::clone(&mem),
+            move |s| {
+                s.enable_trace(64);
+                if s.tid() == 0 {
+                    // The honest lock holder: a long critical section
+                    // mutating x then (much later) y.
+                    lock.acquire(s).expect("non-speculative acquire");
+                    s.store(x, 1).expect("plain store");
+                    s.work(5_000).expect("non-transactional work");
+                    s.store(y, 2).expect("plain store");
+                    lock.release(s).expect("non-speculative release");
+                } else {
+                    // The broken SLR transaction: reads the holder's
+                    // in-flight data and commits without subscribing.
+                    s.work(50).expect("non-transactional work");
+                    s.attempt(|s| {
+                        s.load(x)?;
+                        s.load(y)?;
+                        Ok(())
+                    })
+                    .expect("uncontended read-only txn commits");
+                }
+                s.trace.take().expect("trace enabled above")
+            },
+        )
+    };
+
+    let trace = GlobalTrace::merge(rings.iter().enumerate());
+    let san = mem.san_log().expect("sanitizer enabled above");
+    let events = san.snapshot();
+
+    let mut findings = detect_races(&race_cfg(&mem, threads), &events);
+    findings.extend(check_opacity(
+        &OpacityConfig {
+            policy: OpacityPolicy::Sandboxed,
+            main_lock: Some(lock.lock_word().index()),
+        },
+        san.initial_values(),
+        &events,
+    ));
+    findings.extend(lint_trace(
+        &LintConfig {
+            require_subscription: true,
+            aux_discipline: false,
+            main_lock: Some(lock.lock_word().index()),
+            aux_locks: Vec::new(),
+            threads,
+        },
+        &trace,
+    ));
+    findings
+}
+
+/// Run a schedule where a thread releases the lock twice. Returns all
+/// lint findings.
+pub fn double_release_schedule() -> Vec<Finding> {
+    let mut b = MemoryBuilder::new();
+    b.enable_sanitizer();
+    let lock = Arc::new(TtasLock::new(&mut b));
+    let data = b.alloc_isolated(0);
+    let mem = Arc::new(b.freeze(1));
+
+    let (rings, _makespan) = {
+        let lock = Arc::clone(&lock);
+        harness::run_arc(1, 0, HtmConfig::deterministic(), 7, Arc::clone(&mem), move |s| {
+            s.enable_trace(64);
+            lock.acquire(s).expect("non-speculative acquire");
+            s.store(data, 1).expect("plain store");
+            lock.release(s).expect("non-speculative release");
+            // The bug: a second release of a lock this thread no
+            // longer holds.
+            lock.release(s).expect("non-speculative release");
+            s.trace.take().expect("trace enabled above")
+        })
+    };
+
+    let trace = GlobalTrace::merge(rings.iter().enumerate());
+    lint_trace(
+        &LintConfig {
+            require_subscription: false,
+            aux_discipline: false,
+            main_lock: Some(lock.lock_word().index()),
+            aux_locks: Vec::new(),
+            threads: 1,
+        },
+        &trace,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintId;
+
+    #[test]
+    fn broken_slr_trips_race_lock_held_and_subscription_lints() {
+        let findings = broken_slr_schedule();
+        for expected in
+            [LintId::DataRace, LintId::CommitWhileLockHeld, LintId::SlrUnsubscribedCommit]
+        {
+            let hit = findings.iter().find(|f| f.lint == expected);
+            let hit = hit.unwrap_or_else(|| panic!("{expected} not detected: {findings:#?}"));
+            assert!(!hit.sites.is_empty(), "{expected} finding lacks provenance");
+        }
+        // The race must implicate both threads with real provenance.
+        let race = findings.iter().find(|f| f.lint == LintId::DataRace).expect("checked above");
+        let tids: Vec<usize> = race.sites.iter().map(|s| s.tid).collect();
+        assert!(tids.contains(&0) && tids.contains(&1), "race sites: {:?}", race.sites);
+    }
+
+    #[test]
+    fn double_release_trips_the_lint() {
+        let findings = double_release_schedule();
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].lint, LintId::ReleaseWithoutAcquire);
+        assert!(!findings[0].sites.is_empty());
+    }
+}

@@ -202,6 +202,12 @@ pub struct SchemeConfig {
     pub capacity_skips_retries: bool,
     /// Speculation circuit breaker, if enabled (see [`BreakerConfig`]).
     pub breaker: Option<BreakerConfig>,
+    /// Record `subscribe` protocol markers for the sanitizer's lint pass
+    /// whenever a speculative attempt subscribes to the main lock (elided
+    /// acquisition or SLR/SCM subscription read). Off in the paper
+    /// configuration: markers cost nothing in simulated time but bloat
+    /// trace rings.
+    pub sanitize: bool,
 }
 
 impl SchemeConfig {
@@ -216,6 +222,7 @@ impl SchemeConfig {
             backoff: None,
             capacity_skips_retries: false,
             breaker: None,
+            sanitize: false,
         }
     }
 
@@ -424,6 +431,11 @@ impl Scheme {
         &self.main
     }
 
+    /// The auxiliary serializing locks (empty for non-SCM schemes).
+    pub fn aux_locks(&self) -> &[Arc<dyn RawLock>] {
+        &self.aux
+    }
+
     /// Execute `body` as a critical section under this scheme.
     ///
     /// `body` may run several times (speculative retries) and must be
@@ -520,8 +532,12 @@ impl Scheme {
         body: &mut impl FnMut(&mut Strand) -> TxResult<R>,
     ) -> Result<R, elision_htm::AbortStatus> {
         let main = &self.main;
+        let sanitize = self.cfg.sanitize;
         s.attempt(|s| {
             main.elided_acquire(s)?;
+            if sanitize {
+                s.note("subscribe", u64::from(main.lock_word().index()));
+            }
             let v = body(s)?;
             main.elided_release(s)?;
             Ok(v)
@@ -608,6 +624,7 @@ impl Scheme {
         loop {
             attempts += 1;
             let main = &self.main;
+            let sanitize = self.cfg.sanitize;
             let r = s.attempt(|s| {
                 let v = body(s)?;
                 // Lazy subscription: read the lock only when ready to
@@ -616,6 +633,9 @@ impl Scheme {
                 // state — self-abort (Figure 5 line 24).
                 if main.is_locked(s)? {
                     return Err(s.xabort(codes::LOCK_BUSY, true));
+                }
+                if sanitize {
+                    s.note("subscribe", u64::from(main.lock_word().index()));
                 }
                 Ok(v)
             });
@@ -681,12 +701,16 @@ impl Scheme {
             attempts += 1;
             let main = &self.main;
             let true_nesting = self.cfg.scm_true_nesting;
+            let sanitize = self.cfg.sanitize;
             let r = s.attempt(|s| match subscription {
                 Subscription::Eager => {
                     if true_nesting {
                         // The design Figure 7 describes: nest the HLE
                         // acquisition inside the RTM transaction.
                         main.elided_acquire(s)?;
+                        if sanitize {
+                            s.note("subscribe", u64::from(main.lock_word().index()));
+                        }
                         let v = body(s)?;
                         main.elided_release(s)?;
                         Ok(v)
@@ -696,6 +720,9 @@ impl Scheme {
                         if main.is_locked(s)? {
                             return Err(s.xabort(codes::LOCK_BUSY, true));
                         }
+                        if sanitize {
+                            s.note("subscribe", u64::from(main.lock_word().index()));
+                        }
                         body(s)
                     }
                 }
@@ -703,6 +730,9 @@ impl Scheme {
                     let v = body(s)?;
                     if main.is_locked(s)? {
                         return Err(s.xabort(codes::LOCK_BUSY, true));
+                    }
+                    if sanitize {
+                        s.note("subscribe", u64::from(main.lock_word().index()));
                     }
                     Ok(v)
                 }

@@ -58,12 +58,14 @@ mod abort;
 mod config;
 mod fault;
 mod memory;
+mod sanitize;
 mod strand;
 
 pub use abort::{codes, Abort, AbortReason, AbortStatus, TxResult, TxnStats};
 pub use config::HtmConfig;
 pub use fault::{AbortStorm, CapacitySqueeze, HotLine, HtmFaults};
 pub use memory::{LineId, Memory, MemoryBuilder, VarId};
+pub use sanitize::{SanAccess, SanEvent, SanLog};
 pub use strand::Strand;
 
 /// Convenience harness: spawn `threads` simulated threads, each with a

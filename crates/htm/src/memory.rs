@@ -13,6 +13,7 @@
 //! *values* are updated through `Strand` accesses. Dynamic structures
 //! (tree nodes, queue links) manage free-lists over pre-allocated regions.
 
+use crate::sanitize::SanLog;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -88,12 +89,27 @@ pub struct MemoryBuilder {
     /// allocations); frozen into the per-line lock map that lets the HTM
     /// classify conflict aborts as lock-word vs data conflicts.
     lock_words: Vec<VarId>,
+    /// Whether the frozen memory carries a sanitizer event log.
+    sanitize: bool,
 }
 
 impl MemoryBuilder {
     /// Create a builder with the default line width of 8 words (64 bytes).
     pub fn new() -> Self {
-        MemoryBuilder { values: Vec::new(), words_per_line: 8, lock_words: Vec::new() }
+        MemoryBuilder {
+            values: Vec::new(),
+            words_per_line: 8,
+            lock_words: Vec::new(),
+            sanitize: false,
+        }
+    }
+
+    /// Attach a sanitizer event log ([`SanLog`]) to the frozen memory:
+    /// every strand access will be recorded for the analysis passes.
+    /// Sanitized runs must use the strict scheduler window (window 0) so
+    /// the log order equals the execution order.
+    pub fn enable_sanitizer(&mut self) {
+        self.sanitize = true;
     }
 
     /// Override the number of words per cache line.
@@ -190,6 +206,7 @@ impl MemoryBuilder {
         for var in &self.lock_words {
             lock_lines[var.0 as usize / wpl] = true;
         }
+        let san = if self.sanitize { Some(SanLog::new(self.values.clone())) } else { None };
         Memory {
             words: self.values.into_iter().map(AtomicU64::new).collect(),
             lines: (0..n_lines).map(|_| LineMeta::new()).collect(),
@@ -199,6 +216,7 @@ impl MemoryBuilder {
             epochs: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             engine: Mutex::new(()),
             words_per_line: wpl,
+            san,
         }
     }
 }
@@ -222,6 +240,8 @@ pub struct Memory {
     /// a lock acquisition and a transaction commit are totally ordered.
     engine: Mutex<()>,
     words_per_line: usize,
+    /// The sanitizer event log, if enabled at build time.
+    san: Option<SanLog>,
 }
 
 pub(crate) const REASON_CONFLICT: u64 = 1;
@@ -361,12 +381,32 @@ impl Memory {
         self.dooms[tid].load(Ordering::SeqCst) >> 8 == epoch
     }
 
-    /// Test-visible: true if any reader/writer bits remain set anywhere.
-    /// After a quiescent point (no live transactions) this must be false.
-    pub fn any_residual_bits(&self) -> bool {
+    /// The sanitizer event log, if [`MemoryBuilder::enable_sanitizer`]
+    /// was called before freezing.
+    pub fn san_log(&self) -> Option<&SanLog> {
+        self.san.as_ref()
+    }
+
+    /// The cache lines whose reader/writer bitmaps are still set. After a
+    /// quiescent point (no live transactions) this must be empty: every
+    /// commit and abort clears its transaction's bits, so a leftover bit
+    /// is a conflict-engine state leak. The sanitizer's post-run check
+    /// reports each offending line.
+    pub fn residual_lines(&self) -> Vec<LineId> {
         self.lines
             .iter()
-            .any(|l| l.readers.load(Ordering::SeqCst) != 0 || l.writers.load(Ordering::SeqCst) != 0)
+            .enumerate()
+            .filter(|(_, l)| {
+                l.readers.load(Ordering::SeqCst) != 0 || l.writers.load(Ordering::SeqCst) != 0
+            })
+            .map(|(i, _)| LineId(i as u32))
+            .collect()
+    }
+
+    /// Test-visible: true if any reader/writer bits remain set anywhere
+    /// (see [`Memory::residual_lines`] for the diagnostic list).
+    pub fn any_residual_bits(&self) -> bool {
+        !self.residual_lines().is_empty()
     }
 }
 
@@ -451,9 +491,26 @@ mod tests {
         assert_eq!(m.readers_of(line), 0b10);
         assert_eq!(m.writers_of(line), 0b1000);
         assert!(m.any_residual_bits());
+        assert_eq!(m.residual_lines(), vec![line]);
         m.clear_reader(line, 1);
         m.clear_writer(line, 3);
         assert!(!m.any_residual_bits());
+        assert!(m.residual_lines().is_empty());
+    }
+
+    #[test]
+    fn sanitizer_log_is_opt_in() {
+        let mut b = MemoryBuilder::new();
+        let _ = b.alloc(0);
+        assert!(b.freeze(1).san_log().is_none());
+
+        let mut b = MemoryBuilder::new();
+        let v = b.alloc(42);
+        b.enable_sanitizer();
+        let m = b.freeze(1);
+        let log = m.san_log().expect("sanitizer enabled");
+        assert!(log.is_empty());
+        assert_eq!(log.initial_values()[v.index() as usize], 42);
     }
 
     #[test]

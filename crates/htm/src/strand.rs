@@ -13,6 +13,7 @@
 use crate::abort::{codes, Abort, AbortStatus, TxResult, TxnStats};
 use crate::config::HtmConfig;
 use crate::memory::{LineId, Memory, VarId};
+use crate::sanitize::SanAccess;
 use elision_sim::{
     AbortCause, CauseSlotRecorder, DetRng, OpCounters, SimHandle, TraceEvent, TraceRing,
 };
@@ -129,6 +130,37 @@ impl Strand {
         }
     }
 
+    /// Append to the memory's sanitizer log, if one is attached. Never
+    /// advances the clock or draws RNG state, so sanitized runs replay
+    /// the exact schedule of unsanitized ones.
+    fn san(&self, access: SanAccess) {
+        if let Some(log) = self.mem.san_log() {
+            log.push(self.tid, self.sim.now(), access);
+        }
+    }
+
+    /// Record a non-speculative lock acquisition (called by lock
+    /// implementations once the lock is held). `word` is the lock's
+    /// primary word — its identity for the trace and sanitizer layers.
+    pub fn note_lock_acquire(&mut self, word: VarId) {
+        self.trace_event(TraceEvent::LockAcquire(word.index()));
+        self.san(SanAccess::LockAcquire { word });
+    }
+
+    /// Record a non-speculative lock release (called by lock
+    /// implementations after the lock is released).
+    pub fn note_lock_release(&mut self, word: VarId) {
+        self.trace_event(TraceEvent::LockRelease(word.index()));
+        self.san(SanAccess::LockRelease { word });
+    }
+
+    /// Record a protocol marker (e.g. the elision schemes' `subscribe`
+    /// marker) into both the trace ring and the sanitizer log.
+    pub fn note(&mut self, label: &'static str, value: u64) {
+        self.trace_event(TraceEvent::Custom(label, value));
+        self.san(SanAccess::Marker { label, value });
+    }
+
     /// The simulated thread id.
     pub fn tid(&self) -> usize {
         self.tid
@@ -187,6 +219,7 @@ impl Strand {
         };
         self.stats.begins += 1;
         self.trace_event(TraceEvent::TxnBegin);
+        self.san(SanAccess::TxnBegin);
         self.txn = Some(Txn {
             epoch,
             read_lines: HashSet::new(),
@@ -242,12 +275,21 @@ impl Strand {
             if self.mem.is_doomed(self.tid, txn.epoch) {
                 true
             } else {
-                for (&var, &val) in &txn.wbuf {
+                // Publish in VarId order: the write buffer is a HashMap,
+                // and iterating it directly would make the peer-dooming
+                // order (hence the best-effort conflict-line attribution)
+                // and the sanitizer log order nondeterministic.
+                let mut writes: Vec<(VarId, u64)> =
+                    txn.wbuf.iter().map(|(&var, &val)| (var, val)).collect();
+                writes.sort_unstable_by_key(|&(var, _)| var.index());
+                for (var, val) in writes {
                     self.mem.raw_store(var, val);
                     let line = self.mem.line_of(var);
                     let peers = self.mem.readers_of(line) | self.mem.writers_of(line);
                     self.mem.doom_bitmap(peers, self.tid, line);
+                    self.san(SanAccess::Write { var, value: val, txn: true });
                 }
+                self.san(SanAccess::TxnCommit);
                 false
             }
         };
@@ -331,14 +373,8 @@ impl Strand {
         if let Some(rec) = self.cause_slots.as_mut() {
             rec.record(self.sim.now(), cause);
         }
-        let code = match status.reason {
-            crate::abort::AbortReason::Conflict => 1,
-            crate::abort::AbortReason::Capacity => 2,
-            crate::abort::AbortReason::Explicit => 3,
-            crate::abort::AbortReason::Spurious => 4,
-            crate::abort::AbortReason::HleRestore => 5,
-        };
-        self.trace_event(TraceEvent::TxnAbort(code));
+        self.trace_event(TraceEvent::TxnAbort(cause));
+        self.san(SanAccess::TxnAbort { cause });
         self.last_abort = status;
         self.sim.advance(self.cfg.cost.txn_abort);
     }
@@ -497,6 +533,7 @@ impl Strand {
             // with our registration is never returned to a live
             // transaction (keeps undoomed transactions opaque).
             self.health_check()?;
+            self.san(SanAccess::Read { var, value: v, txn: true });
             Ok(v)
         } else {
             let v = self.mem.raw_load(var);
@@ -507,6 +544,7 @@ impl Strand {
             if writers != 0 {
                 self.mem.doom_bitmap(writers, self.tid, line);
             }
+            self.san(SanAccess::Read { var, value: v, txn: false });
             Ok(v)
         }
     }
@@ -534,6 +572,7 @@ impl Strand {
             let line = self.mem.line_of(var);
             let peers = self.mem.readers_of(line) | self.mem.writers_of(line);
             self.mem.doom_bitmap(peers, self.tid, line);
+            self.san(SanAccess::Write { var, value, txn: false });
             Ok(())
         }
     }
@@ -554,6 +593,7 @@ impl Strand {
                     self.track_read(line)?;
                     let v = self.mem.raw_load(var);
                     self.health_check()?;
+                    self.san(SanAccess::Read { var, value: v, txn: true });
                     v
                 }
             };
@@ -566,10 +606,13 @@ impl Strand {
         } else {
             let _guard = self.mem.engine_lock();
             let old = self.mem.raw_load(var);
-            self.mem.raw_store(var, f(old));
+            let new = f(old);
+            self.mem.raw_store(var, new);
             let line = self.mem.line_of(var);
             let peers = self.mem.readers_of(line) | self.mem.writers_of(line);
             self.mem.doom_bitmap(peers, self.tid, line);
+            self.san(SanAccess::Read { var, value: old, txn: false });
+            self.san(SanAccess::Write { var, value: new, txn: false });
             Ok(old)
         }
     }
@@ -632,6 +675,7 @@ impl Strand {
                 self.track_read(line)?;
                 let v = self.mem.raw_load(var);
                 self.health_check()?;
+                self.san(SanAccess::Read { var, value: v, txn: true });
                 v
             }
         };

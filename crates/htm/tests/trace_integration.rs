@@ -1,7 +1,7 @@
 //! Tests of the execution-trace facility wired through the HTM layer.
 
 use elision_htm::{harness, HtmConfig, MemoryBuilder};
-use elision_sim::TraceEvent;
+use elision_sim::{AbortCause, TraceEvent};
 
 #[test]
 fn trace_records_txn_lifecycle() {
@@ -25,7 +25,7 @@ fn trace_records_txn_lifecycle() {
                 TraceEvent::TxnBegin,
                 TraceEvent::TxnCommit,
                 TraceEvent::TxnBegin,
-                TraceEvent::TxnAbort(3), // explicit
+                TraceEvent::TxnAbort(AbortCause::Explicit),
             ]
         );
         // Timestamps are non-decreasing.
@@ -49,7 +49,11 @@ fn trace_distinguishes_abort_causes() {
             }
         }
         let ring = s.trace.as_ref().expect("trace enabled");
-        assert_eq!(ring.count(|e| matches!(e, TraceEvent::TxnAbort(2))), 1, "capacity code");
+        assert_eq!(
+            ring.count(|e| matches!(e, TraceEvent::TxnAbort(AbortCause::Capacity))),
+            1,
+            "capacity cause"
+        );
     });
 }
 

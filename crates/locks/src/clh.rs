@@ -65,7 +65,9 @@ impl RawLock for ClhLock {
         s.store(self.node_locked[my], LOCKED)?;
         let p = s.swap(self.tail, my as u64)? as usize;
         s.store(self.pred[me], p as u64)?;
-        s.spin_until(self.node_locked[p], TXN_SPIN_BUDGET, |v| v == UNLOCKED)
+        s.spin_until(self.node_locked[p], TXN_SPIN_BUDGET, |v| v == UNLOCKED)?;
+        s.note_lock_acquire(self.tail);
+        Ok(())
     }
 
     fn release(&self, s: &mut Strand) -> TxResult<()> {
@@ -75,12 +77,18 @@ impl RawLock for ClhLock {
         if self.adapted {
             // Optimistically erase our node from the queue (solo run).
             if s.cas(self.tail, my, p)? == my {
+                s.note_lock_release(self.tail);
                 return Ok(());
             }
         }
+        // The node-unlock store is the release's linearization point:
+        // record the release first so the successor's acquire never
+        // precedes it in the merged trace.
+        s.note_lock_release(self.tail);
         s.store(self.node_locked[my as usize], UNLOCKED)?;
         // Recycle the predecessor's node (standard CLH).
-        s.store(self.my_node[me], p)
+        s.store(self.my_node[me], p)?;
+        Ok(())
     }
 
     fn is_locked(&self, s: &mut Strand) -> TxResult<bool> {
@@ -131,6 +139,10 @@ impl RawLock for ClhLock {
             }
             s.spin()?;
         }
+    }
+
+    fn lock_word(&self) -> VarId {
+        self.tail
     }
 
     fn name(&self) -> &'static str {

@@ -31,7 +31,7 @@ pub use mcs::McsLock;
 pub use ticket::TicketLock;
 pub use ttas::TtasLock;
 
-use elision_htm::{Strand, TxResult};
+use elision_htm::{Strand, TxResult, VarId};
 
 /// Result of re-executing the elided acquisition non-transactionally
 /// after an abort (the hardware's HLE fallback).
@@ -113,6 +113,11 @@ pub trait RawLock: Send + Sync {
     ///
     /// Never fails outside a transaction.
     fn wait_until_free(&self, s: &mut Strand) -> TxResult<()>;
+
+    /// The lock's primary word — its identity for the trace, sanitizer
+    /// and lint layers (the word SLR/SCM subscription reads observe:
+    /// TTAS's state word, the queue locks' tail/next word).
+    fn lock_word(&self) -> VarId;
 
     /// A short human-readable name ("TTAS", "MCS", ...).
     fn name(&self) -> &'static str;

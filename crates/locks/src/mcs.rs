@@ -54,6 +54,7 @@ impl RawLock for McsLock {
             s.store(self.next[pred], me as u64)?;
             s.spin_until(self.locked[me], TXN_SPIN_BUDGET, |v| v == GO)?;
         }
+        s.note_lock_acquire(self.tail);
         Ok(())
     }
 
@@ -62,13 +63,19 @@ impl RawLock for McsLock {
         let mut succ = s.load(self.next[me])?;
         if succ == NIL {
             if s.cas(self.tail, me as u64, NIL)? == me as u64 {
+                s.note_lock_release(self.tail);
                 return Ok(());
             }
             // A successor is mid-enqueue; wait for the link.
             s.spin_until(self.next[me], TXN_SPIN_BUDGET, |v| v != NIL)?;
             succ = s.load(self.next[me])?;
         }
-        s.store(self.locked[succ as usize], GO)
+        // The handoff store is the release's linearization point: record
+        // the release first so the successor's acquire never precedes it
+        // in the merged trace.
+        s.note_lock_release(self.tail);
+        s.store(self.locked[succ as usize], GO)?;
+        Ok(())
     }
 
     fn is_locked(&self, s: &mut Strand) -> TxResult<bool> {
@@ -110,6 +117,10 @@ impl RawLock for McsLock {
 
     fn wait_until_free(&self, s: &mut Strand) -> TxResult<()> {
         s.spin_until(self.tail, TXN_SPIN_BUDGET, |v| v == NIL)
+    }
+
+    fn lock_word(&self) -> VarId {
+        self.tail
     }
 
     fn name(&self) -> &'static str {

@@ -56,7 +56,9 @@ impl RawLock for TicketLock {
         let me = s.tid();
         let my = s.fetch_add(self.next, 1)?;
         s.store(self.cur[me], my)?;
-        s.spin_until(self.owner, TXN_SPIN_BUDGET, move |v| v == my)
+        s.spin_until(self.owner, TXN_SPIN_BUDGET, move |v| v == my)?;
+        s.note_lock_acquire(self.next);
+        Ok(())
     }
 
     fn release(&self, s: &mut Strand) -> TxResult<()> {
@@ -66,11 +68,17 @@ impl RawLock for TicketLock {
             // Optimistically erase the acquisition (solo run): restores
             // `next` to its pre-acquire value.
             if s.cas(self.next, my + 1, my)? == my + 1 {
+                s.note_lock_release(self.next);
                 return Ok(());
             }
         }
-        // Standard release: pass ownership to the following ticket.
-        s.store(self.owner, my + 1)
+        // Standard release: pass ownership to the following ticket. The
+        // owner store is the linearization point: record the release
+        // first so the successor's acquire never precedes it in the
+        // merged trace.
+        s.note_lock_release(self.next);
+        s.store(self.owner, my + 1)?;
+        Ok(())
     }
 
     fn is_locked(&self, s: &mut Strand) -> TxResult<bool> {
@@ -121,6 +129,10 @@ impl RawLock for TicketLock {
             }
             s.spin()?;
         }
+    }
+
+    fn lock_word(&self) -> VarId {
+        self.next
     }
 
     fn name(&self) -> &'static str {

@@ -36,13 +36,16 @@ impl RawLock for TtasLock {
             s.spin_until(self.word, TXN_SPIN_BUDGET, |v| v == FREE)?;
             // ...and test-and-set.
             if s.swap(self.word, HELD)? == FREE {
+                s.note_lock_acquire(self.word);
                 return Ok(());
             }
         }
     }
 
     fn release(&self, s: &mut Strand) -> TxResult<()> {
-        s.store(self.word, FREE)
+        s.store(self.word, FREE)?;
+        s.note_lock_release(self.word);
+        Ok(())
     }
 
     fn is_locked(&self, s: &mut Strand) -> TxResult<bool> {
@@ -68,10 +71,15 @@ impl RawLock for TtasLock {
         // Re-execute the TAS non-transactionally, exactly once: this is
         // the globally visible store that dooms every eliding peer.
         if s.swap(self.word, HELD)? == FREE {
+            s.note_lock_acquire(self.word);
             Ok(FallbackOutcome::Acquired)
         } else {
             Ok(FallbackOutcome::Busy)
         }
+    }
+
+    fn lock_word(&self) -> VarId {
+        self.word
     }
 
     fn wait_until_free(&self, s: &mut Strand) -> TxResult<()> {

@@ -58,7 +58,7 @@ pub use rng::DetRng;
 pub use sched::{Scheduler, SimHandle};
 pub use slots::{CauseSlotRecorder, CauseSlotSeries, SlotRecorder, SlotSeries};
 pub use stats::{AbortCause, AttemptKind, CauseHistogram, OpCounters};
-pub use trace::{TraceEvent, TraceRing};
+pub use trace::{GlobalEvent, GlobalTrace, TraceEvent, TraceRing};
 
 use std::sync::Arc;
 
