@@ -10,6 +10,7 @@
 
 use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, Table};
+use elision_bench::sweep::{Cell, Sweep, TimingLog};
 use elision_bench::CliArgs;
 use elision_core::{make_lock, LockKind, Scheme, SchemeConfig, SchemeKind};
 use elision_htm::{harness, HtmConfig, MemoryBuilder, VarId};
@@ -59,12 +60,28 @@ fn main() {
     println!("== Ablation: coarse- vs fine-grained locking under elision ==");
     println!("{} threads, {SHARDS} shards; HLE speedup over standard locking\n", args.threads);
 
+    let mut cells = Vec::new();
+    for fine in [false, true] {
+        for scheme in [SchemeKind::Standard, SchemeKind::Hle] {
+            let args = &args;
+            let grain = if fine { "fine" } else { "coarse" };
+            cells.push(Cell::new(format!("{grain}/{}", scheme.label()), args.threads, move || {
+                run(scheme, fine, args.threads, ops, args.window)
+            }));
+        }
+    }
+    let sweep = Sweep::from_args(&args);
+    let outcome = sweep.run(cells);
+    let mut timing = TimingLog::new("ablation_finegrained", sweep.jobs());
+    timing.absorb(&outcome);
+
     let mut table =
         Table::new(&["granularity", "standard (ops/kcycle)", "HLE (ops/kcycle)", "HLE speedup"]);
     let mut report = MetricsReport::new("ablation_finegrained", &args);
+    let mut pairs = outcome.results.chunks_exact(2);
     for fine in [false, true] {
-        let std = run(SchemeKind::Standard, fine, args.threads, ops, args.window);
-        let hle = run(SchemeKind::Hle, fine, args.threads, ops, args.window);
+        let pair = pairs.next().expect("one standard/HLE pair per granularity");
+        let (std, hle) = (pair[0], pair[1]);
         table.row(vec![
             if fine { format!("fine ({SHARDS} locks)") } else { "coarse (1 lock)".to_string() },
             f2(std),
@@ -85,6 +102,7 @@ fn main() {
     }
     if let Some(dir) = &args.metrics {
         report.write(dir);
+        timing.write(dir);
     }
     println!(
         "\nShape check: elision multiplies coarse-grained throughput but adds \

@@ -14,6 +14,7 @@
 
 use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, Table};
+use elision_bench::sweep::{Cell, Sweep, TimingLog};
 use elision_bench::CliArgs;
 use elision_core::{make_grouped_scm, make_scheme, LockKind, SchemeConfig, SchemeKind};
 use elision_htm::{harness, HtmConfig, MemoryBuilder, VarId};
@@ -51,20 +52,29 @@ fn main() {
     println!("== Ablation: grouped SCM (conflict-line-aware auxiliary locks) ==");
     println!("speedup of grouped over single-aux SCM; >1 means grouping wins\n");
 
+    const CONFIGS: [(usize, usize, u64); 7] =
+        [(1, 8, 40), (2, 6, 80), (2, 8, 40), (4, 8, 40), (4, 8, 80), (4, 12, 60), (8, 16, 60)];
+    let mut cells = Vec::new();
+    for (hw, thr, work) in CONFIGS {
+        for grouped in [false, true] {
+            let kind = if grouped { "grouped" } else { "single" };
+            cells.push(Cell::new(format!("{hw}w/{thr}t/{work}c/{kind}"), thr, move || {
+                run(grouped, hw, thr, work, ops)
+            }));
+        }
+    }
+    let sweep = Sweep::from_args(&args);
+    let outcome = sweep.run(cells);
+    let mut timing = TimingLog::new("ablation_grouped", sweep.jobs());
+    timing.absorb(&outcome);
+
     let mut table =
         Table::new(&["hot words", "threads", "cs work", "single-aux", "grouped", "speedup"]);
     let mut report = MetricsReport::new("ablation_grouped", &args);
-    for (hw, thr, work) in [
-        (1usize, 8usize, 40u64),
-        (2, 6, 80),
-        (2, 8, 40),
-        (4, 8, 40),
-        (4, 8, 80),
-        (4, 12, 60),
-        (8, 16, 60),
-    ] {
-        let s = run(false, hw, thr, work, ops);
-        let g = run(true, hw, thr, work, ops);
+    let mut pairs = outcome.results.chunks_exact(2);
+    for (hw, thr, work) in CONFIGS {
+        let pair = pairs.next().expect("one single/grouped pair per config");
+        let (s, g) = (pair[0], pair[1]);
         table.row(vec![
             hw.to_string(),
             thr.to_string(),
@@ -88,6 +98,7 @@ fn main() {
     }
     if let Some(dir) = &args.metrics {
         report.write(dir);
+        timing.write(dir);
     }
     println!(
         "\nShape check: speedup > 1 with many active groups and long critical \

@@ -7,7 +7,8 @@
 //! the paper's budget of 10.
 
 use elision_bench::metrics::{Json, MetricsReport};
-use elision_bench::report::{f2, Table};
+use elision_bench::report::{f2, ratio, Table};
+use elision_bench::sweep::{Cell, Sweep, TimingLog};
 use elision_bench::CliArgs;
 use elision_core::{make_scheme_with_aux, LockKind, SchemeConfig, SchemeKind};
 use elision_htm::{harness, HtmConfig, MemoryBuilder};
@@ -73,24 +74,55 @@ fn main() {
     println!("== Ablation: MAX_RETRIES budget (128-node tree, moderate contention) ==");
     println!("values normalized to the paper's budget of 10\n");
 
-    let mut report = MetricsReport::new("ablation_retries", &args);
+    let schemes = [SchemeKind::HleRetries, SchemeKind::OptSlr, SchemeKind::HleScm];
+    // Per lock: one baseline (budget 10) cell per scheme, then the full
+    // budget × scheme grid.
+    let mut cells = Vec::new();
     for lock in [LockKind::Ttas, LockKind::Mcs] {
+        for &scheme in &schemes {
+            let args = &args;
+            cells.push(Cell::new(
+                format!("{}/base/{}", lock.label(), scheme.label()),
+                args.threads,
+                move || run_with_budget(args, scheme, lock, 10, ops),
+            ));
+        }
+        for &budget in &budgets {
+            for &scheme in &schemes {
+                let args = &args;
+                cells.push(Cell::new(
+                    format!("{}/{budget}/{}", lock.label(), scheme.label()),
+                    args.threads,
+                    move || run_with_budget(args, scheme, lock, budget, ops),
+                ));
+            }
+        }
+    }
+    let sweep = Sweep::from_args(&args);
+    let outcome = sweep.run(cells);
+    let mut timing = TimingLog::new("ablation_retries", sweep.jobs());
+    timing.absorb(&outcome);
+
+    let per_lock = schemes.len() * (1 + budgets.len());
+    let mut report = MetricsReport::new("ablation_retries", &args);
+    let mut locks_chunks = outcome.results.chunks_exact(per_lock);
+    for lock in [LockKind::Ttas, LockKind::Mcs] {
+        let chunk = locks_chunks.next().expect("one chunk per lock");
+        let (baseline, grid) = chunk.split_at(schemes.len());
         println!("--- {} main lock ---", lock.label());
         let mut table = Table::new(&["budget", "HLE-retries", "opt SLR", "HLE-SCM"]);
-        let schemes = [SchemeKind::HleRetries, SchemeKind::OptSlr, SchemeKind::HleScm];
-        let baseline: Vec<f64> =
-            schemes.iter().map(|&s| run_with_budget(&args, s, lock, 10, ops)).collect();
+        let mut grid = grid.iter();
         for &budget in &budgets {
             let mut cells = vec![budget.to_string()];
             for (i, &scheme) in schemes.iter().enumerate() {
-                let thr = run_with_budget(&args, scheme, lock, budget, ops);
-                cells.push(f2(thr / baseline[i]));
+                let thr = *grid.next().expect("one result per budget/scheme");
+                cells.push(f2(ratio(thr, baseline[i])));
                 report.push_row(Json::obj(vec![
                     ("lock", Json::Str(lock.label().to_string())),
                     ("budget", Json::Uint(u64::from(budget))),
                     ("scheme", Json::Str(scheme.label().to_string())),
                     ("throughput", Json::Float(thr)),
-                    ("norm_throughput", Json::Float(thr / baseline[i])),
+                    ("norm_throughput", Json::Float(ratio(thr, baseline[i]))),
                 ]));
             }
             table.row(cells);
@@ -103,6 +135,7 @@ fn main() {
     }
     if let Some(dir) = &args.metrics {
         report.write(dir);
+        timing.write(dir);
     }
     println!("Shape check: performance is flat-ish around 10 and degrades at budget 1.");
 }

@@ -13,6 +13,7 @@
 
 use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, Table};
+use elision_bench::sweep::{Cell, Sweep, TimingLog};
 use elision_bench::CliArgs;
 use elision_core::{make_scheme_with_aux, LockKind, Scheme, SchemeConfig, SchemeKind};
 use elision_htm::{harness, HtmConfig, MemoryBuilder};
@@ -79,24 +80,56 @@ fn main() {
 
     println!("== Ablation: SCM design choices (128-node tree, moderate contention) ==\n");
 
+    const AUX_LOCKS: [LockKind; 4] =
+        [LockKind::Mcs, LockKind::Ticket, LockKind::Clh, LockKind::Ttas];
+    const VARIANTS: [(&str, SchemeKind, bool); 3] = [
+        ("eager check (paper's Haswell workaround)", SchemeKind::HleScm, false),
+        ("true HLE-in-RTM nesting (paper's intended design)", SchemeKind::HleScm, true),
+        ("lazy commit-time check (SLR-SCM)", SchemeKind::SlrScm, false),
+    ];
+    let mut cells = Vec::new();
+    for aux in AUX_LOCKS {
+        let args = &args;
+        cells.push(Cell::new(format!("aux/{}", aux.label()), args.threads, move || {
+            run_custom(
+                args,
+                |b, t| {
+                    make_scheme_with_aux(
+                        SchemeKind::HleScm,
+                        LockKind::Mcs,
+                        aux,
+                        SchemeConfig::paper(),
+                        b,
+                        t,
+                    )
+                },
+                ops,
+            )
+        }));
+    }
+    for (label, kind, nesting) in VARIANTS {
+        let args = &args;
+        cells.push(Cell::new(format!("subscription/{label}"), args.threads, move || {
+            run_custom(
+                args,
+                |b, t| {
+                    let cfg = SchemeConfig { scm_true_nesting: nesting, ..SchemeConfig::paper() };
+                    make_scheme_with_aux(kind, LockKind::Mcs, LockKind::Mcs, cfg, b, t)
+                },
+                ops,
+            )
+        }));
+    }
+    let sweep = Sweep::from_args(&args);
+    let outcome = sweep.run(cells);
+    let mut timing = TimingLog::new("ablation_scm", sweep.jobs());
+    timing.absorb(&outcome);
+
     println!("--- auxiliary-lock fairness (HLE-SCM over MCS main lock) ---");
     let mut report = MetricsReport::new("ablation_scm", &args);
     let mut table = Table::new(&["aux lock", "throughput (ops/kcycle)", "finish-time spread"]);
-    for aux in [LockKind::Mcs, LockKind::Ticket, LockKind::Clh, LockKind::Ttas] {
-        let (thr, spread) = run_custom(
-            &args,
-            |b, t| {
-                make_scheme_with_aux(
-                    SchemeKind::HleScm,
-                    LockKind::Mcs,
-                    aux,
-                    SchemeConfig::paper(),
-                    b,
-                    t,
-                )
-            },
-            ops,
-        );
+    for (aux, (thr, spread)) in AUX_LOCKS.iter().zip(&outcome.results) {
+        let (thr, spread) = (*thr, *spread);
         table.row(vec![aux.label().to_string(), f2(thr), f2(spread)]);
         report.push_row(Json::obj(vec![
             ("section", Json::Str("aux_fairness".to_string())),
@@ -112,20 +145,8 @@ fn main() {
 
     println!("\n--- subscription policy (SCM over MCS main lock) ---");
     let mut table = Table::new(&["variant", "throughput (ops/kcycle)"]);
-    let variants: [(&str, SchemeKind, bool); 3] = [
-        ("eager check (paper's Haswell workaround)", SchemeKind::HleScm, false),
-        ("true HLE-in-RTM nesting (paper's intended design)", SchemeKind::HleScm, true),
-        ("lazy commit-time check (SLR-SCM)", SchemeKind::SlrScm, false),
-    ];
-    for (label, kind, nesting) in variants {
-        let (thr, _) = run_custom(
-            &args,
-            |b, t| {
-                let cfg = SchemeConfig { scm_true_nesting: nesting, ..SchemeConfig::paper() };
-                make_scheme_with_aux(kind, LockKind::Mcs, LockKind::Mcs, cfg, b, t)
-            },
-            ops,
-        );
+    for ((label, _, _), (thr, _)) in VARIANTS.iter().zip(&outcome.results[AUX_LOCKS.len()..]) {
+        let thr = *thr;
         table.row(vec![label.to_string(), f2(thr)]);
         report.push_row(Json::obj(vec![
             ("section", Json::Str("subscription".to_string())),
@@ -139,6 +160,7 @@ fn main() {
     }
     if let Some(dir) = &args.metrics {
         report.write(dir);
+        timing.write(dir);
     }
     println!(
         "\nShape check: fair aux locks keep the finish-time spread tight; the \

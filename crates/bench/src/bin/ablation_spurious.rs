@@ -8,7 +8,8 @@
 //! workload never aborts; even a tiny rate collapses plain HLE-MCS.
 
 use elision_bench::metrics::{Json, MetricsReport};
-use elision_bench::report::{f2, f3, Table};
+use elision_bench::report::{f2, f3, ratio, Table};
+use elision_bench::sweep::{Cell, Sweep, TimingLog};
 use elision_bench::{CliArgs, TreeBenchSpec};
 use elision_core::{LockKind, SchemeKind};
 use elision_htm::HtmConfig;
@@ -18,9 +19,34 @@ fn main() {
     let args = CliArgs::parse();
     let ops = if args.quick { 300 } else { 1000 };
     let rates = [0.0, 0.0005, 0.002, 0.01, 0.05];
+    let schemes = [SchemeKind::Hle, SchemeKind::HleScm, SchemeKind::Standard];
 
     println!("== Ablation: spurious-abort rate vs the MCS lemming effect ==");
     println!("{} threads, 512-node tree, lookups only\n", args.threads);
+
+    let mut cells = Vec::new();
+    for &rate in &rates {
+        for scheme in schemes {
+            let args = &args;
+            cells.push(Cell::new(format!("{rate}/{}", scheme.label()), args.threads, move || {
+                let mut spec = TreeBenchSpec::new(
+                    scheme,
+                    LockKind::Mcs,
+                    args.threads,
+                    512,
+                    OpMix::LOOKUP_ONLY,
+                );
+                spec.ops_per_thread = ops;
+                spec.window = args.window;
+                spec.htm = HtmConfig::haswell().with_spurious(rate, 0.0);
+                elision_bench::run_tree_bench_avg(&spec, args.seeds)
+            }));
+        }
+    }
+    let sweep = Sweep::from_args(&args);
+    let outcome = sweep.run(cells);
+    let mut timing = TimingLog::new("ablation_spurious", sweep.jobs());
+    timing.absorb(&outcome);
 
     let mut table = Table::new(&[
         "spurious/txn",
@@ -30,32 +56,23 @@ fn main() {
         "HLE-SCM speedup-vs-std",
     ]);
     let mut report = MetricsReport::new("ablation_spurious", &args);
+    let mut chunks = outcome.results.chunks_exact(schemes.len());
     for &rate in &rates {
-        let htm = HtmConfig::haswell().with_spurious(rate, 0.0);
-        let run = |scheme: SchemeKind| {
-            let mut spec =
-                TreeBenchSpec::new(scheme, LockKind::Mcs, args.threads, 512, OpMix::LOOKUP_ONLY);
-            spec.ops_per_thread = ops;
-            spec.window = args.window;
-            spec.htm = htm;
-            elision_bench::run_tree_bench_avg(&spec, args.seeds)
-        };
-        let hle = run(SchemeKind::Hle);
-        let scm = run(SchemeKind::HleScm);
-        let std = run(SchemeKind::Standard);
+        let chunk = chunks.next().expect("one chunk per rate");
+        let (hle, scm, std) = (&chunk[0], &chunk[1], &chunk[2]);
         table.row(vec![
             format!("{rate}"),
             f3(hle.counters.frac_nonspeculative()),
             f3(scm.counters.frac_nonspeculative()),
-            f2(hle.throughput / std.throughput),
-            f2(scm.throughput / std.throughput),
+            f2(ratio(hle.throughput, std.throughput)),
+            f2(ratio(scm.throughput, std.throughput)),
         ]);
-        for (scheme, r) in [("HLE", &hle), ("HLE-SCM", &scm)] {
+        for (scheme, r) in [("HLE", hle), ("HLE-SCM", scm)] {
             report.push_result(
                 vec![
                     ("spurious_rate", Json::Float(rate)),
                     ("scheme", Json::Str(scheme.to_string())),
-                    ("speedup_vs_std", Json::Float(r.throughput / std.throughput)),
+                    ("speedup_vs_std", Json::Float(ratio(r.throughput, std.throughput))),
                 ],
                 r,
             );
@@ -67,6 +84,7 @@ fn main() {
     }
     if let Some(dir) = &args.metrics {
         report.write(dir);
+        timing.write(dir);
     }
     println!(
         "\nShape check: HLE-MCS frac-nonspec jumps toward 1 as soon as the rate is \

@@ -6,6 +6,13 @@
 //! report — binary name, its config, its row count — plus an abort-cause
 //! histogram summed over every row of every report. Files are processed
 //! in sorted name order, so the summary is deterministic.
+//!
+//! `TIMING_<binary>.json` files (written by the sweep orchestrator) are
+//! merged separately into `TIMING_SUMMARY.json` — per-binary wall-clock
+//! milliseconds, host jobs and cell counts plus the sweep total. Wall
+//! time varies run to run, so the timing summary shares the `TIMING_`
+//! prefix the determinism gates exclude, and `BENCH_SUMMARY.json` itself
+//! stays byte-reproducible.
 
 use elision_bench::metrics::{parse, Json, SCHEMA_VERSION};
 use elision_sim::AbortCause;
@@ -14,10 +21,51 @@ use std::path::{Path, PathBuf};
 use std::process::exit;
 
 const SUMMARY_NAME: &str = "BENCH_SUMMARY.json";
+const TIMING_SUMMARY_NAME: &str = "TIMING_SUMMARY.json";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     exit(1);
+}
+
+/// Validate one timing report's schema; returns its summary entry and
+/// total wall-clock milliseconds.
+fn validate_timing(path: &Path, doc: &Json) -> (Json, u64) {
+    let ctx = path.display();
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| fail(&format!("{ctx}: missing schema_version")));
+    if version != SCHEMA_VERSION {
+        fail(&format!("{ctx}: schema_version {version} (expected {SCHEMA_VERSION})"));
+    }
+    if doc.get("kind").and_then(Json::as_str) != Some("timing") {
+        fail(&format!("{ctx}: TIMING_ file without kind == \"timing\""));
+    }
+    let binary = doc
+        .get("binary")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail(&format!("{ctx}: missing binary name")))
+        .to_string();
+    let jobs = doc
+        .get("jobs")
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| fail(&format!("{ctx}: missing jobs")));
+    let wall_ms = doc
+        .get("wall_ms")
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| fail(&format!("{ctx}: missing wall_ms")));
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail(&format!("{ctx}: missing cells array")));
+    let entry = Json::obj(vec![
+        ("binary", Json::Str(binary)),
+        ("jobs", Json::Uint(jobs)),
+        ("wall_ms", Json::Uint(wall_ms)),
+        ("cells", Json::Uint(cells.len() as u64)),
+    ]);
+    (entry, wall_ms)
 }
 
 /// Validate one report's schema; returns (binary, config, rows).
@@ -51,14 +99,26 @@ fn main() {
         Ok(e) => e,
         Err(e) => fail(&format!("cannot read {}: {e}", dir.display())),
     };
-    let mut paths: Vec<PathBuf> = entries
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| {
-            p.extension().is_some_and(|x| x == "json")
-                && p.file_name().is_some_and(|n| n != SUMMARY_NAME)
-        })
-        .collect();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut timing_paths: Vec<PathBuf> = Vec::new();
+    for p in entries.filter_map(|e| e.ok().map(|e| e.path())) {
+        if p.extension().is_none_or(|x| x != "json") {
+            continue;
+        }
+        let Some(name) = p.file_name().and_then(|n| n.to_str()).map(str::to_string) else {
+            continue;
+        };
+        if name == SUMMARY_NAME || name == TIMING_SUMMARY_NAME {
+            continue;
+        }
+        if name.starts_with("TIMING_") {
+            timing_paths.push(p);
+        } else {
+            paths.push(p);
+        }
+    }
     paths.sort();
+    timing_paths.sort();
     if paths.is_empty() {
         fail(&format!("no metrics reports (*.json) found in {}", dir.display()));
     }
@@ -108,4 +168,32 @@ fn main() {
     fs::write(&out, summary.render())
         .unwrap_or_else(|e| fail(&format!("writing {}: {e}", out.display())));
     println!("wrote {} ({} reports, {total_rows} rows)", out.display(), paths.len());
+
+    // Wall-clock trajectory: merged separately so the main summary stays
+    // byte-reproducible run to run.
+    if !timing_paths.is_empty() {
+        let mut timing_entries = Vec::new();
+        let mut total_wall_ms = 0u64;
+        for path in &timing_paths {
+            let text = fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("reading {}: {e}", path.display())));
+            let doc =
+                parse(&text).unwrap_or_else(|e| fail(&format!("parsing {}: {e}", path.display())));
+            let (entry, wall_ms) = validate_timing(path, &doc);
+            total_wall_ms += wall_ms;
+            timing_entries.push(entry);
+            println!("merged {}", path.display());
+        }
+        let n_binaries = timing_entries.len();
+        let timing_summary = Json::obj(vec![
+            ("schema_version", Json::Uint(SCHEMA_VERSION)),
+            ("kind", Json::Str("timing_summary".to_string())),
+            ("binaries", Json::Arr(timing_entries)),
+            ("total_wall_ms", Json::Uint(total_wall_ms)),
+        ]);
+        let out = dir.join(TIMING_SUMMARY_NAME);
+        fs::write(&out, timing_summary.render())
+            .unwrap_or_else(|e| fail(&format!("writing {}: {e}", out.display())));
+        println!("wrote {} ({n_binaries} binaries, {total_wall_ms} ms wall total)", out.display());
+    }
 }

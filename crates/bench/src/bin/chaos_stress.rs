@@ -19,6 +19,7 @@
 
 use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, Table};
+use elision_bench::sweep::{Cell, Sweep, TimingLog};
 use elision_bench::{chaos::MAX_INTENSITY, run_tree_bench, ChaosProfile, CliArgs, TreeBenchSpec};
 use elision_core::{BreakerConfig, LockKind, SchemeConfig, SchemeKind};
 use elision_htm::HtmConfig;
@@ -84,8 +85,9 @@ fn assert_deterministic(spec: &TreeBenchSpec, what: &str) {
 /// The breaker must beat the paper config under a sustained storm on a
 /// fair lock (MCS): without shedding, every abort re-enqueues behind the
 /// fallback holder and the whole run degenerates to lemming handoffs
-/// *plus* ten wasted speculative attempts per operation.
-fn assert_breaker_pays_off(threads: usize, ops: u64) {
+/// *plus* ten wasted speculative attempts per operation. Returns
+/// (breaker-on throughput, breaker-off throughput, trips) for reporting.
+fn assert_breaker_pays_off(threads: usize, ops: u64) -> (f64, f64, u64) {
     let base = {
         let mut s =
             spec_for(SchemeKind::HleRetries, LockKind::Mcs, ChaosProfile::None, 0, threads, ops);
@@ -109,11 +111,7 @@ fn assert_breaker_pays_off(threads: usize, ops: u64) {
         r_on.throughput,
         r_off.throughput
     );
-    println!(
-        "breaker check (HLE-retries/MCS, permanent 95% storm): \
-         on {:.3} > off {:.3} ops/kcycle, {} trips",
-        r_on.throughput, r_off.throughput, r_on.breaker_trips
-    );
+    (r_on.throughput, r_off.throughput, r_on.breaker_trips)
 }
 
 fn main() {
@@ -138,7 +136,34 @@ fn main() {
          (backoff + capacity fast-path + breaker), window=0\n"
     );
 
+    // The full grid (every profile x level x scheme x lock) runs through
+    // the shared sweep orchestrator; liveness assertions fire inside the
+    // cells, all reporting happens afterwards in canonical order.
+    let mut cells = Vec::new();
+    for profile in &profiles {
+        for &level in &levels {
+            for &scheme in &schemes {
+                for lock in [LockKind::Ttas, LockKind::Mcs] {
+                    cells.push(Cell::new(
+                        format!("{profile}@{level}/{}/{}", scheme.label(), lock.label()),
+                        threads,
+                        move || {
+                            let spec = spec_for(scheme, lock, *profile, level, threads, ops);
+                            let what = format!("{profile}@{level} {scheme}/{lock}");
+                            run_checked(&spec, &what)
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    let sweep = Sweep::from_args(&args);
+    let outcome = sweep.run(cells);
+    let mut timing = TimingLog::new("chaos_stress", sweep.jobs());
+    timing.absorb(&outcome);
+
     let mut report = MetricsReport::new("chaos_stress", &args);
+    let mut next = outcome.results.iter();
     for profile in &profiles {
         let mut table = Table::new(&[
             "level",
@@ -153,9 +178,7 @@ fn main() {
         for &level in &levels {
             for &scheme in &schemes {
                 for lock in [LockKind::Ttas, LockKind::Mcs] {
-                    let spec = spec_for(scheme, lock, *profile, level, threads, ops);
-                    let what = format!("{profile}@{level} {scheme}/{lock}");
-                    let r = run_checked(&spec, &what);
+                    let r = next.next().expect("one result per grid cell");
                     table.row(vec![
                         level.to_string(),
                         scheme.label().to_string(),
@@ -176,7 +199,7 @@ fn main() {
                             ("preemptions", Json::Uint(r.fault_stats.preemptions)),
                             ("breaker_trips", Json::Uint(r.breaker_trips)),
                         ],
-                        &r,
+                        r,
                     );
                 }
             }
@@ -188,18 +211,47 @@ fn main() {
         }
         println!();
     }
+    // Determinism (the nastiest profile, both lock families) and the
+    // breaker payoff check also run as sweep cells.
+    let check_cells = vec![
+        Cell::new("determinism/TTAS", threads, move || {
+            let spec = spec_for(
+                SchemeKind::HleScm,
+                LockKind::Ttas,
+                ChaosProfile::Full,
+                2,
+                threads,
+                ops.min(150),
+            );
+            assert_deterministic(&spec, "full@2 HLE-SCM/TTAS");
+            None
+        }),
+        Cell::new("determinism/MCS", threads, move || {
+            let spec = spec_for(
+                SchemeKind::HleScm,
+                LockKind::Mcs,
+                ChaosProfile::Full,
+                2,
+                threads,
+                ops.min(150),
+            );
+            assert_deterministic(&spec, "full@2 HLE-SCM/MCS");
+            None
+        }),
+        Cell::new("breaker-payoff", threads, move || Some(assert_breaker_pays_off(threads, ops))),
+    ];
+    let checks = sweep.run(check_cells);
+    timing.absorb(&checks);
+    println!("determinism check: identical seeds reproduced identical runs (window=0)");
+    let (on, off, trips) = checks.results[2].expect("breaker cell returns stats");
+    println!(
+        "breaker check (HLE-retries/MCS, permanent 95% storm): \
+         on {on:.3} > off {off:.3} ops/kcycle, {trips} trips"
+    );
     if let Some(dir) = &args.metrics {
         report.write(dir);
+        timing.write(dir);
     }
-
-    // Determinism: the nastiest profile, both lock families.
-    for lock in [LockKind::Ttas, LockKind::Mcs] {
-        let spec = spec_for(SchemeKind::HleScm, lock, ChaosProfile::Full, 2, threads, ops.min(150));
-        assert_deterministic(&spec, &format!("full@2 HLE-SCM/{lock}"));
-    }
-    println!("determinism check: identical seeds reproduced identical runs (window=0)");
-
-    assert_breaker_pays_off(threads, ops);
 
     println!("\nall chaos assertions passed");
 }

@@ -10,6 +10,7 @@
 
 use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, f3, Table};
+use elision_bench::sweep::{Cell, Sweep, TimingLog};
 use elision_bench::{run_tree_bench, CliArgs, TreeBenchSpec};
 use elision_core::{LockKind, SchemeKind};
 use elision_sim::AbortCause;
@@ -23,16 +24,36 @@ fn main() {
     println!(
         "== Diagnostic: abort breakdown by cause ({size}-node tree, moderate contention) ==\n"
     );
+    let mut cells = Vec::new();
+    for lock in [LockKind::Ttas, LockKind::Mcs] {
+        for scheme in SchemeKind::ALL {
+            let args = &args;
+            cells.push(Cell::new(
+                format!("{}/{}", lock.label(), scheme.label()),
+                args.threads,
+                move || {
+                    let mut spec =
+                        TreeBenchSpec::new(scheme, lock, args.threads, size, OpMix::MODERATE);
+                    spec.ops_per_thread = ops;
+                    spec.window = args.window;
+                    run_tree_bench(&spec)
+                },
+            ));
+        }
+    }
+    let sweep = Sweep::from_args(&args);
+    let outcome = sweep.run(cells);
+    let mut timing = TimingLog::new("diag_aborts", sweep.jobs());
+    timing.absorb(&outcome);
+
     let mut headers = vec!["lock", "scheme", "frac-nonspec", "attempts/op", "aborted"];
     headers.extend(AbortCause::ALL.iter().map(|c| c.label()));
     let mut table = Table::new(&headers);
     let mut report = MetricsReport::new("diag_aborts", &args);
+    let mut next = outcome.results.iter();
     for lock in [LockKind::Ttas, LockKind::Mcs] {
         for scheme in SchemeKind::ALL {
-            let mut spec = TreeBenchSpec::new(scheme, lock, args.threads, size, OpMix::MODERATE);
-            spec.ops_per_thread = ops;
-            spec.window = args.window;
-            let r = run_tree_bench(&spec);
+            let r = next.next().expect("one result per cell");
 
             // Taxonomy cross-check: every aborted attempt must carry
             // exactly one classified cause, and the scheme-level abort
@@ -63,7 +84,7 @@ fn main() {
                     ("lock", Json::Str(lock.label().to_string())),
                     ("scheme", Json::Str(scheme.label().to_string())),
                 ],
-                &r,
+                r,
             );
         }
     }
@@ -74,5 +95,6 @@ fn main() {
     }
     if let Some(dir) = &args.metrics {
         report.write(dir);
+        timing.write(dir);
     }
 }

@@ -10,7 +10,8 @@
 //! fully serialized — and HLE-retries helps TTAS but *not* MCS.
 
 use elision_bench::metrics::{Json, MetricsReport};
-use elision_bench::report::{f2, Table};
+use elision_bench::report::{f2, ratio, Table};
+use elision_bench::sweep::{Cell, Sweep, TimingLog};
 use elision_bench::{run_tree_bench_avg, size_sweep, CliArgs, TreeBenchSpec};
 use elision_core::{LockKind, SchemeKind};
 use elision_structures::OpMix;
@@ -26,35 +27,61 @@ fn main() {
     println!("== Figure 10: software schemes vs the HLE baseline of each lock ==");
     println!("{} threads; baseline y=1 is plain HLE with the same lock\n", args.threads);
 
-    let mut report = MetricsReport::new("fig10_spectrum", &args);
+    // Each (lock, mix, size) row is a chunk of 1 + SCHEMES.len() cells:
+    // the plain-HLE baseline followed by the four software schemes.
+    let mut cells = Vec::new();
     for lock in [LockKind::Ttas, LockKind::Mcs] {
         for (label, mix) in OpMix::LEVELS {
+            for &size in &sizes {
+                let args = &args;
+                let mut specs = vec![SchemeKind::Hle];
+                specs.extend(SCHEMES);
+                for scheme in specs {
+                    cells.push(Cell::new(
+                        format!("{}/{label}/{size}/{}", lock.label(), scheme.label()),
+                        args.threads,
+                        move || {
+                            let mut spec =
+                                TreeBenchSpec::new(scheme, lock, args.threads, size, mix);
+                            spec.ops_per_thread = ops;
+                            spec.window = args.window;
+                            run_tree_bench_avg(&spec, args.seeds)
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    let sweep = Sweep::from_args(&args);
+    let outcome = sweep.run(cells);
+    let mut timing = TimingLog::new("fig10_spectrum", sweep.jobs());
+    timing.absorb(&outcome);
+
+    let chunk = 1 + SCHEMES.len();
+    let mut report = MetricsReport::new("fig10_spectrum", &args);
+    let mut chunks = outcome.results.chunks_exact(chunk);
+    for lock in [LockKind::Ttas, LockKind::Mcs] {
+        for (label, _mix) in OpMix::LEVELS {
             println!("--- {} lock, {label} ---", lock.label());
             let mut headers = vec!["size".to_string()];
             headers.extend(SCHEMES.iter().map(|s| s.label().to_string()));
             let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
             let mut table = Table::new(&header_refs);
             for &size in &sizes {
-                let mut hle_spec =
-                    TreeBenchSpec::new(SchemeKind::Hle, lock, args.threads, size, mix);
-                hle_spec.ops_per_thread = ops;
-                hle_spec.window = args.window;
-                let hle = run_tree_bench_avg(&hle_spec, args.seeds);
+                let row = chunks.next().expect("one chunk per row");
+                let hle = &row[0];
                 let mut cells = vec![size.to_string()];
-                for scheme in SCHEMES {
-                    let mut spec = hle_spec;
-                    spec.scheme = scheme;
-                    let r = run_tree_bench_avg(&spec, args.seeds);
-                    cells.push(f2(r.throughput / hle.throughput));
+                for (scheme, r) in SCHEMES.iter().zip(&row[1..]) {
+                    cells.push(f2(ratio(r.throughput, hle.throughput)));
                     report.push_result(
                         vec![
                             ("lock", Json::Str(lock.label().to_string())),
                             ("workload", Json::Str(label.to_string())),
                             ("size", Json::Uint(size as u64)),
                             ("scheme", Json::Str(scheme.label().to_string())),
-                            ("speedup_vs_hle", Json::Float(r.throughput / hle.throughput)),
+                            ("speedup_vs_hle", Json::Float(ratio(r.throughput, hle.throughput))),
                         ],
-                        &r,
+                        r,
                     );
                 }
                 table.row(cells);
@@ -76,6 +103,7 @@ fn main() {
     }
     if let Some(dir) = &args.metrics {
         report.write(dir);
+        timing.write(dir);
     }
     println!(
         "Paper shape check: MCS rows sit well above 1 everywhere (2-10x); TTAS rows \

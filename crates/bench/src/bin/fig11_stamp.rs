@@ -12,7 +12,8 @@
 //! and vacation; SLR-SCM only helps vacation-low (~15%).
 
 use elision_bench::metrics::{Json, MetricsReport};
-use elision_bench::report::{f3, Table};
+use elision_bench::report::{f3, ratio, Table};
+use elision_bench::sweep::{Cell, Sweep, TimingLog};
 use elision_bench::CliArgs;
 use elision_core::{LockKind, SchemeKind};
 use elision_htm::HtmConfig;
@@ -25,7 +26,47 @@ fn main() {
     println!("== Figure 11: STAMP normalized runtime (lower is better) ==");
     println!("{} threads; y=1 is the standard version of the same lock\n", args.threads);
 
+    // One cell per (lock, kernel, scheme); the cell averages the kernel's
+    // makespan over the seeds and the post-pass normalizes each chunk to
+    // its Standard column.
+    let mut cells = Vec::new();
+    for lock in [LockKind::Ttas, LockKind::Mcs] {
+        for kernel in KernelKind::ALL {
+            for scheme in SchemeKind::ALL {
+                let args = &args;
+                let params = &params;
+                cells.push(Cell::new(
+                    format!("{}/{}/{}", lock.label(), kernel.label(), scheme.label()),
+                    args.threads,
+                    move || {
+                        let mut total = 0u64;
+                        for k in 0..args.seeds {
+                            let mut p = *params;
+                            p.seed = params.seed.wrapping_add(k * 7919);
+                            let run = run_kernel(
+                                kernel,
+                                scheme,
+                                lock,
+                                args.threads,
+                                &p,
+                                args.window,
+                                HtmConfig::haswell(),
+                            );
+                            total += run.makespan;
+                        }
+                        total as f64 / args.seeds as f64
+                    },
+                ));
+            }
+        }
+    }
+    let sweep = Sweep::from_args(&args);
+    let outcome = sweep.run(cells);
+    let mut timing = TimingLog::new("fig11_stamp", sweep.jobs());
+    timing.absorb(&outcome);
+
     let mut report = MetricsReport::new("fig11_stamp", &args);
+    let mut chunks = outcome.results.chunks_exact(SchemeKind::ALL.len());
     for lock in [LockKind::Ttas, LockKind::Mcs] {
         println!("--- {} lock ---", lock.label());
         let mut headers = vec!["test".to_string()];
@@ -33,40 +74,22 @@ fn main() {
         let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         let mut table = Table::new(&header_refs);
         for kernel in KernelKind::ALL {
-            // Average the standard baseline over the same seeds.
-            let mut baseline = 0.0;
+            let times = chunks.next().expect("one chunk per kernel");
+            let baseline = SchemeKind::ALL
+                .iter()
+                .zip(times)
+                .find(|(s, _)| **s == SchemeKind::Standard)
+                .map(|(_, t)| *t)
+                .expect("Standard scheme in every chunk");
             let mut cells = vec![kernel.label().to_string()];
-            let mut times: Vec<f64> = Vec::new();
-            for scheme in SchemeKind::ALL {
-                let mut total = 0u64;
-                for k in 0..args.seeds {
-                    let mut p = params;
-                    p.seed = params.seed.wrapping_add(k * 7919);
-                    let run = run_kernel(
-                        kernel,
-                        scheme,
-                        lock,
-                        args.threads,
-                        &p,
-                        args.window,
-                        HtmConfig::haswell(),
-                    );
-                    total += run.makespan;
-                }
-                let mean = total as f64 / args.seeds as f64;
-                if scheme == SchemeKind::Standard {
-                    baseline = mean;
-                }
-                times.push(mean);
-            }
-            for (scheme, t) in SchemeKind::ALL.iter().zip(&times) {
-                cells.push(f3(t / baseline));
+            for (scheme, t) in SchemeKind::ALL.iter().zip(times) {
+                cells.push(f3(ratio(*t, baseline)));
                 report.push_row(Json::obj(vec![
                     ("lock", Json::Str(lock.label().to_string())),
                     ("test", Json::Str(kernel.label().to_string())),
                     ("scheme", Json::Str(scheme.label().to_string())),
                     ("mean_makespan_cycles", Json::Float(*t)),
-                    ("norm_runtime", Json::Float(t / baseline)),
+                    ("norm_runtime", Json::Float(ratio(*t, baseline))),
                 ]));
             }
             table.row(cells);
@@ -79,6 +102,7 @@ fn main() {
     }
     if let Some(dir) = &args.metrics {
         report.write(dir);
+        timing.write(dir);
     }
     println!(
         "Paper shape check: HLE column ~1 for MCS but <1 for TTAS on several tests; \

@@ -17,6 +17,7 @@
 
 use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, f3, Table};
+use elision_bench::sweep::{Cell, Sweep, TimingLog};
 use elision_bench::{run_tree_bench_avg, size_sweep, CliArgs, TreeBenchSpec};
 use elision_core::{LockKind, SchemeKind};
 use elision_structures::OpMix;
@@ -33,6 +34,30 @@ fn main() {
     println!("{} threads, 10% insert / 10% delete / 80% lookup", args.threads);
     println!("chaos profile: {}\n", args.chaos);
 
+    let mut cells = Vec::new();
+    for &size in &sizes {
+        for lock in [LockKind::Ttas, LockKind::Mcs] {
+            let args = &args;
+            cells.push(Cell::new(format!("{size}/{}", lock.label()), args.threads, move || {
+                let mut spec =
+                    TreeBenchSpec::new(SchemeKind::Hle, lock, args.threads, size, OpMix::MODERATE);
+                spec.ops_per_thread = ops;
+                spec.window = args.window;
+                spec.faults = fault_plan;
+                spec.htm = spec.htm.with_faults(htm_faults);
+                let hle = run_tree_bench_avg(&spec, args.seeds);
+                let mut std_spec = spec;
+                std_spec.scheme = SchemeKind::Standard;
+                let std = run_tree_bench_avg(&std_spec, args.seeds);
+                (size, lock, hle, std)
+            }));
+        }
+    }
+    let sweep = Sweep::from_args(&args);
+    let outcome = sweep.run(cells);
+    let mut timing = TimingLog::new("fig2_lemming", sweep.jobs());
+    timing.absorb(&outcome);
+
     let mut table = Table::new(&[
         "size",
         "lock",
@@ -42,36 +67,24 @@ fn main() {
         "frac-arrive-held",
     ]);
     let mut report = MetricsReport::new("fig2_lemming", &args);
-    for &size in &sizes {
-        for lock in [LockKind::Ttas, LockKind::Mcs] {
-            let mut spec =
-                TreeBenchSpec::new(SchemeKind::Hle, lock, args.threads, size, OpMix::MODERATE);
-            spec.ops_per_thread = ops;
-            spec.window = args.window;
-            spec.faults = fault_plan;
-            spec.htm = spec.htm.with_faults(htm_faults);
-            let hle = run_tree_bench_avg(&spec, args.seeds);
-            let mut std_spec = spec;
-            std_spec.scheme = SchemeKind::Standard;
-            let std = run_tree_bench_avg(&std_spec, args.seeds);
-            table.row(vec![
-                size.to_string(),
-                lock.label().to_string(),
-                f2(hle.throughput / std.throughput),
-                f2(hle.counters.attempts_per_op()),
-                f3(hle.counters.frac_nonspeculative()),
-                f3(hle.counters.frac_arrived_lock_held()),
-            ]);
-            report.push_result(
-                vec![
-                    ("size", Json::Uint(size as u64)),
-                    ("lock", Json::Str(lock.label().to_string())),
-                    ("speedup_vs_std", Json::Float(hle.throughput / std.throughput)),
-                    ("frac_arrived_lock_held", Json::Float(hle.counters.frac_arrived_lock_held())),
-                ],
-                &hle,
-            );
-        }
+    for (size, lock, hle, std) in &outcome.results {
+        table.row(vec![
+            size.to_string(),
+            lock.label().to_string(),
+            f2(hle.throughput / std.throughput),
+            f2(hle.counters.attempts_per_op()),
+            f3(hle.counters.frac_nonspeculative()),
+            f3(hle.counters.frac_arrived_lock_held()),
+        ]);
+        report.push_result(
+            vec![
+                ("size", Json::Uint(*size as u64)),
+                ("lock", Json::Str(lock.label().to_string())),
+                ("speedup_vs_std", Json::Float(hle.throughput / std.throughput)),
+                ("frac_arrived_lock_held", Json::Float(hle.counters.frac_arrived_lock_held())),
+            ],
+            hle,
+        );
     }
     table.print();
     if let Some(dir) = &args.csv {
@@ -79,6 +92,7 @@ fn main() {
     }
     if let Some(dir) = &args.metrics {
         report.write(dir);
+        timing.write(dir);
     }
 
     println!(

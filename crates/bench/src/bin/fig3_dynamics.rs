@@ -11,6 +11,7 @@
 
 use elision_bench::metrics::{cause_histogram_json, Json, MetricsReport};
 use elision_bench::report::{f2, f3, Table};
+use elision_bench::sweep::{Cell, Sweep, TimingLog};
 use elision_bench::{run_tree_bench, CliArgs, TreeBenchSpec};
 use elision_core::{LockKind, SchemeKind};
 use elision_structures::OpMix;
@@ -23,18 +24,29 @@ fn main() {
     let ops = if args.quick { 500 } else { 2000 };
 
     println!("== Figure 3: serialization dynamics over time (HLE, size-64 tree) ==\n");
-    let mut report = MetricsReport::new("fig3_dynamics", &args);
+    let mut cells = Vec::new();
     for lock in [LockKind::Mcs, LockKind::Ttas] {
-        let mut spec =
-            TreeBenchSpec::new(SchemeKind::Hle, lock, args.threads, TREE_SIZE, OpMix::MODERATE);
-        spec.ops_per_thread = ops;
-        spec.window = args.window;
-        // Calibrate the slot width from an untimed first run.
-        let calib = run_tree_bench(&spec);
-        spec.slot_cycles = Some((calib.makespan / SLOTS).max(1));
-        let r = run_tree_bench(&spec);
-        let slots = r.slots.expect("slot series requested");
-        let causes = r.cause_slots.expect("cause slot series requested");
+        let args = &args;
+        cells.push(Cell::new(lock.label(), args.threads, move || {
+            let mut spec =
+                TreeBenchSpec::new(SchemeKind::Hle, lock, args.threads, TREE_SIZE, OpMix::MODERATE);
+            spec.ops_per_thread = ops;
+            spec.window = args.window;
+            // Calibrate the slot width from an untimed first run.
+            let calib = run_tree_bench(&spec);
+            spec.slot_cycles = Some((calib.makespan / SLOTS).max(1));
+            (lock, run_tree_bench(&spec))
+        }));
+    }
+    let sweep = Sweep::from_args(&args);
+    let outcome = sweep.run(cells);
+    let mut timing = TimingLog::new("fig3_dynamics", sweep.jobs());
+    timing.absorb(&outcome);
+
+    let mut report = MetricsReport::new("fig3_dynamics", &args);
+    for (lock, r) in &outcome.results {
+        let slots = r.slots.as_ref().expect("slot series requested");
+        let causes = r.cause_slots.as_ref().expect("cause slot series requested");
 
         println!("--- {} lock ---", lock.label());
         let mut table = Table::new(&["slot", "norm-throughput", "frac-nonspec"]);
@@ -68,6 +80,7 @@ fn main() {
     }
     if let Some(dir) = &args.metrics {
         report.write(dir);
+        timing.write(dir);
     }
     println!(
         "Paper shape check: MCS per-slot frac-nonspec ~1 throughout; TTAS mostly \

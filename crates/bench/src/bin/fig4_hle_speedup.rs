@@ -11,6 +11,7 @@
 
 use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::{f2, Table};
+use elision_bench::sweep::{Cell, Sweep, TimingLog};
 use elision_bench::{run_tree_bench_avg, size_sweep, CliArgs, TreeBenchSpec};
 use elision_core::{LockKind, SchemeKind};
 use elision_structures::OpMix;
@@ -23,20 +24,43 @@ fn main() {
     println!("== Figure 4: HLE speedup over the standard version of each lock ==");
     println!("{} threads; baseline y=1 is the standard lock\n", args.threads);
 
-    let mut report = MetricsReport::new("fig4_hle_speedup", &args);
+    let mut cells = Vec::new();
     for (label, mix) in OpMix::LEVELS {
+        for &size in &sizes {
+            for lock in [LockKind::Ttas, LockKind::Mcs] {
+                let args = &args;
+                cells.push(Cell::new(
+                    format!("{label}/{size}/{}", lock.label()),
+                    args.threads,
+                    move || {
+                        let mut spec =
+                            TreeBenchSpec::new(SchemeKind::Hle, lock, args.threads, size, mix);
+                        spec.ops_per_thread = ops;
+                        spec.window = args.window;
+                        let hle = run_tree_bench_avg(&spec, args.seeds);
+                        let mut std_spec = spec;
+                        std_spec.scheme = SchemeKind::Standard;
+                        let std = run_tree_bench_avg(&std_spec, args.seeds);
+                        (hle, std)
+                    },
+                ));
+            }
+        }
+    }
+    let sweep = Sweep::from_args(&args);
+    let outcome = sweep.run(cells);
+    let mut timing = TimingLog::new("fig4_hle_speedup", sweep.jobs());
+    timing.absorb(&outcome);
+
+    let mut report = MetricsReport::new("fig4_hle_speedup", &args);
+    let mut next = outcome.results.iter();
+    for (label, _mix) in OpMix::LEVELS {
         println!("--- {label} ---");
         let mut table = Table::new(&["size", "TTAS", "MCS"]);
         for &size in &sizes {
             let mut cells = vec![size.to_string()];
             for lock in [LockKind::Ttas, LockKind::Mcs] {
-                let mut spec = TreeBenchSpec::new(SchemeKind::Hle, lock, args.threads, size, mix);
-                spec.ops_per_thread = ops;
-                spec.window = args.window;
-                let hle = run_tree_bench_avg(&spec, args.seeds);
-                let mut std_spec = spec;
-                std_spec.scheme = SchemeKind::Standard;
-                let std = run_tree_bench_avg(&std_spec, args.seeds);
+                let (hle, std) = next.next().expect("one result per cell");
                 cells.push(f2(hle.throughput / std.throughput));
                 report.push_result(
                     vec![
@@ -45,7 +69,7 @@ fn main() {
                         ("lock", Json::Str(lock.label().to_string())),
                         ("speedup_vs_std", Json::Float(hle.throughput / std.throughput)),
                     ],
-                    &hle,
+                    hle,
                 );
             }
             table.row(cells);
@@ -62,6 +86,7 @@ fn main() {
     }
     if let Some(dir) = &args.metrics {
         report.write(dir);
+        timing.write(dir);
     }
     println!(
         "Paper shape check: MCS stays at ~1x everywhere; TTAS grows with tree size, \

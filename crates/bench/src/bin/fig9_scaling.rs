@@ -12,7 +12,8 @@
 //! gap between MCS and TTAS.
 
 use elision_bench::metrics::{Json, MetricsReport};
-use elision_bench::report::{f2, Table};
+use elision_bench::report::{f2, ratio, Table};
+use elision_bench::sweep::{Cell, Sweep, TimingLog};
 use elision_bench::{run_tree_bench_avg, CliArgs, TreeBenchSpec};
 use elision_core::{LockKind, SchemeKind};
 use elision_structures::OpMix;
@@ -28,14 +29,50 @@ fn main() {
     println!("== Figure 9: scheme scaling on a 128-node tree ==");
     println!("10% insert / 10% delete / 80% lookup; baseline y=1 is 1 thread, no locking\n");
 
-    // The common baseline: single-threaded, lock-free execution.
-    let mut base_spec =
-        TreeBenchSpec::new(SchemeKind::NoLock, LockKind::Ttas, 1, TREE_SIZE, OpMix::MODERATE);
-    base_spec.ops_per_thread = ops;
-    base_spec.window = args.window;
-    let base = run_tree_bench_avg(&base_spec, args.seeds).throughput;
+    // The common baseline (single-threaded, lock-free) is itself a sweep
+    // cell; every other cell is normalized to it afterwards.
+    let mut cells = Vec::new();
+    {
+        let args = &args;
+        cells.push(Cell::new("baseline/nolock/1", 1, move || {
+            let mut base_spec = TreeBenchSpec::new(
+                SchemeKind::NoLock,
+                LockKind::Ttas,
+                1,
+                TREE_SIZE,
+                OpMix::MODERATE,
+            );
+            base_spec.ops_per_thread = ops;
+            base_spec.window = args.window;
+            run_tree_bench_avg(&base_spec, args.seeds)
+        }));
+    }
+    for lock in [LockKind::Ttas, LockKind::Mcs] {
+        for &t in &thread_counts {
+            for scheme in SchemeKind::ALL {
+                let args = &args;
+                cells.push(Cell::new(
+                    format!("{}/{t}/{}", lock.label(), scheme.label()),
+                    t,
+                    move || {
+                        let mut spec =
+                            TreeBenchSpec::new(scheme, lock, t, TREE_SIZE, OpMix::MODERATE);
+                        spec.ops_per_thread = ops;
+                        spec.window = args.window;
+                        run_tree_bench_avg(&spec, args.seeds)
+                    },
+                ));
+            }
+        }
+    }
+    let sweep = Sweep::from_args(&args);
+    let outcome = sweep.run(cells);
+    let mut timing = TimingLog::new("fig9_scaling", sweep.jobs());
+    timing.absorb(&outcome);
 
+    let base = outcome.results[0].throughput;
     let mut report = MetricsReport::new("fig9_scaling", &args);
+    let mut next = outcome.results[1..].iter();
     for lock in [LockKind::Ttas, LockKind::Mcs] {
         println!("--- {} lock ---", lock.label());
         let mut headers = vec!["threads".to_string()];
@@ -45,19 +82,16 @@ fn main() {
         for &t in &thread_counts {
             let mut cells = vec![t.to_string()];
             for scheme in SchemeKind::ALL {
-                let mut spec = TreeBenchSpec::new(scheme, lock, t, TREE_SIZE, OpMix::MODERATE);
-                spec.ops_per_thread = ops;
-                spec.window = args.window;
-                let r = run_tree_bench_avg(&spec, args.seeds);
-                cells.push(f2(r.throughput / base));
+                let r = next.next().expect("one result per cell");
+                cells.push(f2(ratio(r.throughput, base)));
                 report.push_result(
                     vec![
                         ("lock", Json::Str(lock.label().to_string())),
                         ("threads", Json::Uint(t as u64)),
                         ("scheme", Json::Str(scheme.label().to_string())),
-                        ("norm_throughput", Json::Float(r.throughput / base)),
+                        ("norm_throughput", Json::Float(ratio(r.throughput, base))),
                     ],
-                    &r,
+                    r,
                 );
             }
             table.row(cells);
@@ -70,6 +104,7 @@ fn main() {
     }
     if let Some(dir) = &args.metrics {
         report.write(dir);
+        timing.write(dir);
     }
     println!(
         "Paper shape check: HLE-MCS flat at all thread counts; software-assisted \

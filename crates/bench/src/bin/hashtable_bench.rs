@@ -7,7 +7,8 @@
 //! the same lock.
 
 use elision_bench::metrics::{Json, MetricsReport};
-use elision_bench::report::{f2, Table};
+use elision_bench::report::{f2, ratio, Table};
+use elision_bench::sweep::{Cell, Sweep, TimingLog};
 use elision_bench::{run_hash_bench, CliArgs, HashBenchSpec};
 use elision_core::{LockKind, SchemeConfig, SchemeKind};
 use elision_htm::HtmConfig;
@@ -28,42 +29,64 @@ fn main() {
         args.threads
     );
 
+    // Each (lock, mix) row is a chunk: plain HLE first, then the four
+    // software schemes normalized to it.
+    let mut cells = Vec::new();
+    for lock in [LockKind::Ttas, LockKind::Mcs] {
+        for (label, mix) in OpMix::LEVELS {
+            let mut schemes = vec![SchemeKind::Hle];
+            schemes.extend(SCHEMES);
+            for scheme in schemes {
+                let args = &args;
+                cells.push(Cell::new(
+                    format!("{}/{label}/{}", lock.label(), scheme.label()),
+                    args.threads,
+                    move || {
+                        run_hash_bench(&HashBenchSpec {
+                            scheme,
+                            lock,
+                            threads: args.threads,
+                            size,
+                            mix,
+                            ops_per_thread: ops,
+                            window: args.window,
+                            htm: HtmConfig::haswell().with_faults(htm_faults),
+                            seed: 42,
+                            scheme_cfg: SchemeConfig::paper(),
+                            faults: fault_plan,
+                        })
+                    },
+                ));
+            }
+        }
+    }
+    let sweep = Sweep::from_args(&args);
+    let outcome = sweep.run(cells);
+    let mut timing = TimingLog::new("hashtable_bench", sweep.jobs());
+    timing.absorb(&outcome);
+
     let mut report = MetricsReport::new("hashtable_bench", &args);
+    let mut chunks = outcome.results.chunks_exact(1 + SCHEMES.len());
     for lock in [LockKind::Ttas, LockKind::Mcs] {
         println!("--- {} lock ---", lock.label());
         let mut headers = vec!["mix".to_string()];
         headers.extend(SCHEMES.iter().map(|s| s.label().to_string()));
         let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         let mut table = Table::new(&header_refs);
-        for (label, mix) in OpMix::LEVELS {
-            let base_spec = HashBenchSpec {
-                scheme: SchemeKind::Hle,
-                lock,
-                threads: args.threads,
-                size,
-                mix,
-                ops_per_thread: ops,
-                window: args.window,
-                htm: HtmConfig::haswell().with_faults(htm_faults),
-                seed: 42,
-                scheme_cfg: SchemeConfig::paper(),
-                faults: fault_plan,
-            };
-            let hle = run_hash_bench(&base_spec);
+        for (label, _mix) in OpMix::LEVELS {
+            let row = chunks.next().expect("one chunk per mix");
+            let hle = &row[0];
             let mut cells = vec![label.to_string()];
-            for scheme in SCHEMES {
-                let mut spec = base_spec;
-                spec.scheme = scheme;
-                let r = run_hash_bench(&spec);
-                cells.push(f2(r.throughput / hle.throughput));
+            for (scheme, r) in SCHEMES.iter().zip(&row[1..]) {
+                cells.push(f2(ratio(r.throughput, hle.throughput)));
                 report.push_result(
                     vec![
                         ("lock", Json::Str(lock.label().to_string())),
                         ("mix", Json::Str(label.to_string())),
                         ("scheme", Json::Str(scheme.label().to_string())),
-                        ("speedup_vs_hle", Json::Float(r.throughput / hle.throughput)),
+                        ("speedup_vs_hle", Json::Float(ratio(r.throughput, hle.throughput))),
                     ],
-                    &r,
+                    r,
                 );
             }
             table.row(cells);
@@ -76,6 +99,7 @@ fn main() {
     }
     if let Some(dir) = &args.metrics {
         report.write(dir);
+        timing.write(dir);
     }
     println!(
         "Paper shape check: same ordering as the small-tree (short transaction) end \

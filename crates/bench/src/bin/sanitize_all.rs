@@ -13,6 +13,7 @@ use elision_analysis::seeded::{broken_slr_schedule, double_release_schedule};
 use elision_analysis::{Finding, LintId};
 use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::Table;
+use elision_bench::sweep::{Cell, Sweep, TimingLog};
 use elision_bench::{ChaosProfile, CliArgs};
 use elision_core::{LockKind, SchemeKind};
 use elision_htm::HtmConfig;
@@ -56,8 +57,8 @@ fn cell_row(scheme: SchemeKind, lock: LockKind, profile: &str, level: u32, r: &S
     ])
 }
 
-fn run_cell(spec: &SanitizeSpec, what: &str, table: &mut Table) -> SanReport {
-    let r = sanitize_run(spec);
+/// Post-pass over one sanitized cell: print, tabulate, assert clean.
+fn check_cell(r: &SanReport, what: &str, table: &mut Table) {
     table.row(vec![
         what.to_string(),
         r.san_events.to_string(),
@@ -76,7 +77,6 @@ fn run_cell(spec: &SanitizeSpec, what: &str, table: &mut Table) -> SanReport {
         r.expected_total
     );
     assert!(r.findings.is_empty(), "{what}: sanitizer reported {} finding(s)", r.findings.len());
-    r
 }
 
 /// A seeded schedule must trip every expected lint, with provenance.
@@ -124,41 +124,54 @@ fn main() {
     println!("== Sanitizer sweep: every scheme x lock, default + chaos, window=0 ==");
     println!("{threads} threads, {ops} ops/thread\n");
 
-    let mut report = MetricsReport::new("sanitize_all", &args);
-    let mut table = Table::new(&["cell", "san-events", "trace-events", "findings", "counters"]);
-    let mut cells = 0usize;
-
+    // Build the full default + chaos grid as sweep cells; sanitize_run is
+    // pure per cell, so the matrix parallelizes like any figure sweep.
+    // Keys double as the post-pass labels so ordering stays canonical.
+    let mut keys: Vec<(SchemeKind, LockKind, String, u32, String)> = Vec::new();
+    let mut sweep_cells = Vec::new();
     for &scheme in &schemes {
         for &lock in locks {
-            let mut spec = SanitizeSpec::new(scheme, lock);
-            spec.threads = threads;
-            spec.ops_per_thread = ops;
             let what = format!("{}/{}", scheme.label(), lock.label());
-            let r = run_cell(&spec, &what, &mut table);
-            report.push_row(cell_row(scheme, lock, "none", 0, &r));
-            cells += 1;
+            keys.push((scheme, lock, "none".to_string(), 0, what.clone()));
+            sweep_cells.push(Cell::new(what, threads, move || {
+                let mut spec = SanitizeSpec::new(scheme, lock);
+                spec.threads = threads;
+                spec.ops_per_thread = ops;
+                sanitize_run(&spec)
+            }));
         }
     }
-
     for &(profile, level) in &chaos {
         let (plan, htm_faults) = profile.at_intensity(level, 0x5A17_AB1E);
         for &scheme in &schemes {
             for &lock in locks {
-                let mut spec = SanitizeSpec::new(scheme, lock);
-                spec.threads = threads;
-                spec.ops_per_thread = ops;
-                spec.htm = HtmConfig::deterministic().with_faults(htm_faults);
-                spec.faults = plan;
                 let what = format!("{}/{} {profile}@{level}", scheme.label(), lock.label());
-                let r = run_cell(&spec, &what, &mut table);
-                report.push_row(cell_row(scheme, lock, profile.label(), level, &r));
-                cells += 1;
+                keys.push((scheme, lock, profile.label().to_string(), level, what.clone()));
+                sweep_cells.push(Cell::new(what, threads, move || {
+                    let mut spec = SanitizeSpec::new(scheme, lock);
+                    spec.threads = threads;
+                    spec.ops_per_thread = ops;
+                    spec.htm = HtmConfig::deterministic().with_faults(htm_faults);
+                    spec.faults = plan;
+                    sanitize_run(&spec)
+                }));
             }
         }
     }
+    let sweep = Sweep::from_args(&args);
+    let outcome = sweep.run(sweep_cells);
+    let mut timing = TimingLog::new("sanitize_all", sweep.jobs());
+    timing.absorb(&outcome);
+
+    let mut report = MetricsReport::new("sanitize_all", &args);
+    let mut table = Table::new(&["cell", "san-events", "trace-events", "findings", "counters"]);
+    for ((scheme, lock, profile, level, what), r) in keys.iter().zip(&outcome.results) {
+        check_cell(r, what, &mut table);
+        report.push_row(cell_row(*scheme, *lock, profile, *level, r));
+    }
 
     table.print();
-    println!("\n{cells} cells clean under the sanitizer");
+    println!("\n{} cells clean under the sanitizer", keys.len());
 
     println!("\n-- seeded negative schedules --");
     check_seeded(
@@ -176,6 +189,7 @@ fn main() {
 
     if let Some(dir) = &args.metrics {
         report.write(dir);
+        timing.write(dir);
     }
     println!("\nall sanitizer assertions passed");
 }

@@ -15,6 +15,10 @@ pub struct CliArgs {
     pub seeds: u64,
     /// Simulated thread count.
     pub threads: usize,
+    /// Host worker threads for the sweep orchestrator (`--jobs N`).
+    /// Defaults to the host's available parallelism; results are
+    /// byte-identical at any value (see `crate::sweep`).
+    pub jobs: usize,
     /// Scheduler lag window in cycles (`--window N`). The default of 0
     /// keeps every run — and thus every CSV/JSON artifact — a pure
     /// function of the seeds; larger windows trade that reproducibility
@@ -36,6 +40,7 @@ impl Default for CliArgs {
             full: false,
             seeds: 3,
             threads: crate::PAPER_THREADS,
+            jobs: default_jobs(),
             window: 0,
             csv: None,
             metrics: None,
@@ -70,6 +75,12 @@ impl CliArgs {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--threads needs a number"));
                 }
+                "--jobs" => {
+                    out.jobs = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--jobs needs a number"));
+                }
                 "--csv" => {
                     out.csv = Some(PathBuf::from(
                         it.next().unwrap_or_else(|| usage("--csv needs a directory")),
@@ -98,16 +109,25 @@ impl CliArgs {
                 other => usage(&format!("unknown flag {other}")),
             }
         }
+        // Zero seeds/threads/jobs would all mean "run nothing" (or a
+        // deadlocked pool); clamp them to the smallest sensible value.
         out.seeds = out.seeds.max(1);
+        out.threads = out.threads.max(1);
+        out.jobs = out.jobs.max(1);
         out
     }
+}
+
+/// Default `--jobs`: the host's available parallelism (1 if unknown).
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: <bin> [--quick] [--full] [--seeds N] [--threads N] [--window N] [--csv DIR] \
-         [--metrics DIR] [--chaos PROFILE]"
+        "usage: <bin> [--quick] [--full] [--seeds N] [--threads N] [--jobs N] [--window N] \
+         [--csv DIR] [--metrics DIR] [--chaos PROFILE]"
     );
     eprintln!("chaos profiles: {}", crate::chaos::ChaosProfile::ALL.map(|p| p.label()).join(", "));
     std::process::exit(2);
@@ -163,5 +183,18 @@ mod tests {
     fn seeds_clamped_to_one() {
         let a = parse(&["--seeds", "0"]);
         assert_eq!(a.seeds, 1);
+    }
+
+    #[test]
+    fn threads_clamped_to_one() {
+        assert_eq!(parse(&["--threads", "0"]).threads, 1);
+        assert_eq!(parse(&["--threads", "3"]).threads, 3);
+    }
+
+    #[test]
+    fn jobs_parse_and_clamp() {
+        assert!(parse(&[]).jobs >= 1);
+        assert_eq!(parse(&["--jobs", "4"]).jobs, 4);
+        assert_eq!(parse(&["--jobs", "0"]).jobs, 1);
     }
 }

@@ -14,10 +14,12 @@ pub mod chaos;
 pub mod cli;
 pub mod metrics;
 pub mod report;
+pub mod sweep;
 pub mod treebench;
 
 pub use chaos::ChaosProfile;
 pub use cli::CliArgs;
+pub use sweep::{Cell, Sweep, SweepOutcome, TimingLog};
 pub use treebench::{
     run_hash_bench, run_tree_bench, run_tree_bench_avg, HashBenchSpec, TreeBenchResult,
     TreeBenchSpec,

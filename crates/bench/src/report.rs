@@ -99,6 +99,18 @@ pub fn f3(x: f64) -> String {
     format!("{x:.3}")
 }
 
+/// A guarded ratio for baseline normalizations: `num / den`, or NaN when
+/// the denominator is zero or non-finite. NaN renders as `NaN` in tables
+/// and as `null` in the JSON metrics (never invalid JSON), instead of the
+/// `inf` a degenerate quick-mode baseline used to produce.
+pub fn ratio(num: f64, den: f64) -> f64 {
+    if den.is_finite() && den != 0.0 {
+        num / den
+    } else {
+        f64::NAN
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +150,15 @@ mod tests {
         let body = std::fs::read_to_string(dir.join("t.csv")).unwrap();
         assert_eq!(body, "plain,\"q\"\"uote\"\n\"line\nbreak\",\"cr\rhere\"\n");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ratio_guards_degenerate_baselines() {
+        assert_eq!(ratio(6.0, 3.0), 2.0);
+        assert!(ratio(1.0, 0.0).is_nan(), "zero baseline must not produce inf");
+        assert!(ratio(1.0, f64::NAN).is_nan());
+        assert!(ratio(1.0, f64::INFINITY).is_nan());
+        assert!(ratio(f64::NAN, 2.0).is_nan(), "NaN numerator stays NaN");
     }
 
     #[test]

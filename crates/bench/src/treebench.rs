@@ -222,6 +222,10 @@ pub fn run_tree_bench(spec: &TreeBenchSpec) -> TreeBenchResult {
 }
 
 /// Run a cell over several seeds and average throughput/counters.
+///
+/// Slot series (when the spec requests recording) are merged across
+/// seeds — raw completion/cause counts sum and the derived rates are
+/// recomputed — rather than silently dropped.
 pub fn run_tree_bench_avg(spec: &TreeBenchSpec, seeds: u64) -> TreeBenchResult {
     let mut throughput = 0.0;
     let mut counters = OpCounters::new();
@@ -230,6 +234,8 @@ pub fn run_tree_bench_avg(spec: &TreeBenchSpec, seeds: u64) -> TreeBenchResult {
     let mut watchdog = Watchdog::new(0);
     let mut fault_stats = FaultStats::default();
     let mut breaker_trips = 0u64;
+    let mut slots: Option<elision_sim::SlotSeries> = None;
+    let mut cause_slots: Option<elision_sim::CauseSlotSeries> = None;
     for k in 0..seeds.max(1) {
         let mut s = *spec;
         s.seed = spec.seed.wrapping_add(k * 7919);
@@ -241,6 +247,16 @@ pub fn run_tree_bench_avg(spec: &TreeBenchSpec, seeds: u64) -> TreeBenchResult {
         watchdog.merge(&r.watchdog);
         fault_stats.merge(&r.fault_stats);
         breaker_trips += r.breaker_trips;
+        match (&mut slots, r.slots) {
+            (Some(acc), Some(s)) => acc.merge(&s),
+            (acc @ None, Some(s)) => *acc = Some(s),
+            _ => {}
+        }
+        match (&mut cause_slots, r.cause_slots) {
+            (Some(acc), Some(s)) => acc.merge(&s),
+            (acc @ None, Some(s)) => *acc = Some(s),
+            _ => {}
+        }
     }
     let n = seeds.max(1);
     TreeBenchResult {
@@ -248,8 +264,8 @@ pub fn run_tree_bench_avg(spec: &TreeBenchSpec, seeds: u64) -> TreeBenchResult {
         counters,
         makespan: makespan / n,
         txn_stats,
-        slots: None,
-        cause_slots: None,
+        slots,
+        cause_slots,
         watchdog,
         fault_stats,
         breaker_trips,
@@ -435,6 +451,36 @@ mod tests {
     fn averaging_runs_multiple_seeds() {
         let r = run_tree_bench_avg(&tiny_spec(SchemeKind::OptSlr, LockKind::Mcs), 2);
         assert_eq!(r.counters.completed(), 200, "two seeds, 100 ops each");
+    }
+
+    #[test]
+    fn averaging_merges_slot_series_across_seeds() {
+        // Regression: run_tree_bench_avg used to hardcode `slots: None`,
+        // discarding requested slot recordings. Merged series must carry
+        // every seed's completions and abort causes.
+        let mut spec = tiny_spec(SchemeKind::Hle, LockKind::Ttas);
+        spec.slot_cycles = Some(500);
+        let seeds = 3;
+        let r = run_tree_bench_avg(&spec, seeds);
+        let slots = r.slots.expect("avg must preserve requested slots");
+        let total: u64 = slots.completed.iter().sum();
+        assert_eq!(total, 100 * seeds, "all seeds' completions merged");
+        let causes = r.cause_slots.expect("avg must preserve cause slots");
+        assert_eq!(
+            causes.totals().total(),
+            r.counters.aborted,
+            "merged cause slots must sum to merged abort count"
+        );
+        // Derived rates are recomputed from merged raw counts, so they
+        // stay in the per-slot range instead of summing across seeds.
+        for (i, &c) in slots.completed.iter().enumerate() {
+            let norm = slots.normalized_throughput[i];
+            assert!(norm >= 0.0);
+            if c == 0 {
+                assert_eq!(norm, 0.0);
+            }
+            assert!((0.0..=1.0).contains(&slots.frac_nonspec[i]));
+        }
     }
 
     #[test]

@@ -72,26 +72,15 @@ impl SlotRecorder {
 
     /// Finish recording and compute the per-slot series.
     pub fn into_series(self) -> SlotSeries {
-        let total: u64 = self.completed.iter().sum();
-        let slots = self.completed.len().max(1) as f64;
-        let avg_per_slot = total as f64 / slots;
-        let normalized_throughput = self
-            .completed
-            .iter()
-            .map(|&c| if avg_per_slot > 0.0 { c as f64 / avg_per_slot } else { 0.0 })
-            .collect();
-        let frac_nonspec = self
-            .completed
-            .iter()
-            .zip(&self.nonspec)
-            .map(|(&c, &n)| if c > 0 { n as f64 / c as f64 } else { 0.0 })
-            .collect();
-        SlotSeries {
+        let mut series = SlotSeries {
             slot_cycles: self.slot_cycles,
             completed: self.completed,
-            normalized_throughput,
-            frac_nonspec,
-        }
+            nonspec: self.nonspec,
+            normalized_throughput: Vec::new(),
+            frac_nonspec: Vec::new(),
+        };
+        series.recompute();
+        series
     }
 }
 
@@ -102,6 +91,8 @@ pub struct SlotSeries {
     pub slot_cycles: u64,
     /// Raw completions per slot.
     pub completed: Vec<u64>,
+    /// Raw non-speculative completions per slot.
+    pub nonspec: Vec<u64>,
     /// Per-slot throughput normalized to the whole-run average (top panel).
     pub normalized_throughput: Vec<f64>,
     /// Per-slot fraction of non-speculative completions (bottom panel).
@@ -117,6 +108,44 @@ impl SlotSeries {
     /// Whether the series is empty.
     pub fn is_empty(&self) -> bool {
         self.completed.is_empty()
+    }
+
+    /// Merge another series (e.g. a different seed of the same cell) into
+    /// this one: raw counts add slot-wise and the derived per-slot ratios
+    /// are recomputed over the combined counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot widths differ.
+    pub fn merge(&mut self, other: &SlotSeries) {
+        assert_eq!(self.slot_cycles, other.slot_cycles, "slot widths must match");
+        if other.completed.len() > self.completed.len() {
+            self.completed.resize(other.completed.len(), 0);
+            self.nonspec.resize(other.nonspec.len(), 0);
+        }
+        for (i, (&c, &n)) in other.completed.iter().zip(&other.nonspec).enumerate() {
+            self.completed[i] += c;
+            self.nonspec[i] += n;
+        }
+        self.recompute();
+    }
+
+    /// Recompute the derived per-slot vectors from the raw counts.
+    fn recompute(&mut self) {
+        let total: u64 = self.completed.iter().sum();
+        let slots = self.completed.len().max(1) as f64;
+        let avg_per_slot = total as f64 / slots;
+        self.normalized_throughput = self
+            .completed
+            .iter()
+            .map(|&c| if avg_per_slot > 0.0 { c as f64 / avg_per_slot } else { 0.0 })
+            .collect();
+        self.frac_nonspec = self
+            .completed
+            .iter()
+            .zip(&self.nonspec)
+            .map(|(&c, &n)| if c > 0 { n as f64 / c as f64 } else { 0.0 })
+            .collect();
     }
 
     /// The largest throughput drop relative to average (e.g. `2.5` means
@@ -199,6 +228,22 @@ impl CauseSlotSeries {
         self.slots.len()
     }
 
+    /// Merge another series (same slot width) into this one, histogram by
+    /// histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot widths differ.
+    pub fn merge(&mut self, other: &CauseSlotSeries) {
+        assert_eq!(self.slot_cycles, other.slot_cycles, "slot widths must match");
+        if other.slots.len() > self.slots.len() {
+            self.slots.resize(other.slots.len(), CauseHistogram::new());
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(&other.slots) {
+            mine.merge(theirs);
+        }
+    }
+
     /// Whether the series is empty.
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
@@ -253,6 +298,46 @@ mod tests {
         a.merge(&b);
         let s = a.into_series();
         assert_eq!(s.completed, vec![2, 1]);
+    }
+
+    #[test]
+    fn series_merge_adds_counts_and_recomputes() {
+        let mut a = SlotRecorder::new(10);
+        a.record(5, true);
+        a.record(6, false);
+        let mut b = SlotRecorder::new(10);
+        b.record(15, false);
+        b.record(7, false);
+        let mut sa = a.into_series();
+        let sb = b.into_series();
+        sa.merge(&sb);
+        assert_eq!(sa.completed, vec![3, 1]);
+        assert_eq!(sa.nonspec, vec![1, 0]);
+        // frac_nonspec recomputed over combined counts: 1/3 in slot 0.
+        assert!((sa.frac_nonspec[0] - 1.0 / 3.0).abs() < 1e-12);
+        // normalized throughput recomputed: avg 2/slot, slot 0 at 1.5x.
+        assert!((sa.normalized_throughput[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot widths")]
+    fn series_merge_rejects_mismatched_widths() {
+        let mut a = SlotRecorder::new(10).into_series();
+        a.merge(&SlotRecorder::new(20).into_series());
+    }
+
+    #[test]
+    fn cause_series_merge_adds_histograms() {
+        let mut a = CauseSlotRecorder::new(100);
+        a.record(10, AbortCause::DataConflict);
+        let mut b = CauseSlotRecorder::new(100);
+        b.record(20, AbortCause::DataConflict);
+        b.record(250, AbortCause::Capacity);
+        let mut sa = a.into_series();
+        sa.merge(&b.into_series());
+        assert_eq!(sa.len(), 3);
+        assert_eq!(sa.slots[0].get(AbortCause::DataConflict), 2);
+        assert_eq!(sa.slots[2].get(AbortCause::Capacity), 1);
     }
 
     #[test]

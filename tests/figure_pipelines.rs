@@ -113,3 +113,37 @@ fn tree_bench_is_deterministic_in_strict_mode() {
     assert_eq!(a.makespan, b.makespan);
     assert_eq!(a.counters, b.counters);
 }
+
+#[test]
+fn parallel_sweep_matches_sequential_on_real_cells() {
+    // End-to-end version of the sweep orchestrator guarantee: real
+    // benchmark cells (which each spawn their own simulated threads)
+    // produce the same results and ordering at any host parallelism.
+    use elision_bench::sweep::{Cell, Sweep};
+    let make_cells = || -> Vec<Cell<'static, (u64, u64)>> {
+        let mut cells = Vec::new();
+        for (i, scheme) in
+            [SchemeKind::Hle, SchemeKind::HleScm, SchemeKind::OptSlr, SchemeKind::Standard]
+                .into_iter()
+                .enumerate()
+        {
+            for lock in [LockKind::Ttas, LockKind::Mcs] {
+                cells.push(Cell::new(format!("{i}/{}", lock.label()), 4, move || {
+                    let mut spec = TreeBenchSpec::new(scheme, lock, 4, 32, OpMix::MODERATE);
+                    spec.ops_per_thread = 60;
+                    spec.window = 0;
+                    spec.htm = HtmConfig::deterministic();
+                    let r = run_tree_bench(&spec);
+                    (r.makespan, r.counters.completed())
+                }));
+            }
+        }
+        cells
+    };
+    let seq = Sweep::new(1).run(make_cells());
+    let par = Sweep::new(4).run(make_cells());
+    assert_eq!(seq.results, par.results, "parallel sweep must reproduce sequential results");
+    let seq_keys: Vec<&str> = seq.timings.iter().map(|t| t.key.as_str()).collect();
+    let par_keys: Vec<&str> = par.timings.iter().map(|t| t.key.as_str()).collect();
+    assert_eq!(seq_keys, par_keys, "timing attribution must stay in canonical order");
+}
