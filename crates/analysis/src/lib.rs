@@ -21,17 +21,27 @@
 //! global execution order — sound under the simulator's strict window 0)
 //! and the merged [`elision_sim::GlobalTrace`] of per-thread trace rings.
 //! [`driver::sanitize_run`] wires a whole scheme × lock × fault-plan cell
-//! through all three passes; [`seeded`] provides known-bad schedules that
-//! must trip specific lints (the sanitizer's own negative tests).
+//! through all three passes; [`testkit`] provides known-bad schedules and
+//! workloads that must trip specific lints (the sanitizer's own negative
+//! tests).
+//!
+//! On top of the sampling passes, [`explore`] turns the sanitizer into a
+//! bounded *model checker*: it drives the controlled scheduler through all
+//! interleavings of small configurations (with dynamic partial-order
+//! reduction), runs every execution through the passes above plus the
+//! [`linearize`] history oracle, and minimizes any failing schedule into a
+//! counterexample small enough to read.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod explore;
+pub mod linearize;
 pub mod lint;
 pub mod opacity;
 pub mod race;
-pub mod seeded;
+pub mod testkit;
 
 use std::fmt;
 
@@ -69,11 +79,15 @@ pub enum LintId {
     /// that held no auxiliary lock (paper §6: only the aux holder may
     /// take the main lock).
     ScmMainWithoutAux,
+    /// A concurrent operation history admits no sequential order that is
+    /// consistent with real-time precedence and the sequential reference
+    /// model — the execution is not linearizable.
+    NotLinearizable,
 }
 
 impl LintId {
     /// Every lint the sanitizer can report.
-    pub const ALL: [LintId; 10] = [
+    pub const ALL: [LintId; 11] = [
         LintId::DataRace,
         LintId::OpacityInconsistentRead,
         LintId::ZombieCommit,
@@ -84,6 +98,7 @@ impl LintId {
         LintId::OverlappingAcquire,
         LintId::SlrUnsubscribedCommit,
         LintId::ScmMainWithoutAux,
+        LintId::NotLinearizable,
     ];
 
     /// Stable kebab-case identifier (used in JSON reports and docs).
@@ -99,6 +114,7 @@ impl LintId {
             LintId::OverlappingAcquire => "overlapping-acquire",
             LintId::SlrUnsubscribedCommit => "slr-unsubscribed-commit",
             LintId::ScmMainWithoutAux => "scm-main-without-aux",
+            LintId::NotLinearizable => "not-linearizable",
         }
     }
 }

@@ -1,0 +1,192 @@
+//! Wing–Gong-style linearizability checking over operation histories.
+//!
+//! A concurrent history (one [`OpRecord`] per completed structure
+//! operation) is *linearizable* iff there is a total order of the
+//! operations that (a) respects real-time precedence — an operation that
+//! responded before another was invoked comes first — and per-thread
+//! program order, and (b) is legal for the sequential reference model:
+//! replaying the order through [`SeqModel::apply`] reproduces every
+//! recorded response.
+//!
+//! The checker runs the classic Wing–Gong search: repeatedly pick a
+//! *minimal* pending operation (one not preceded by another pending
+//! operation), apply it to the model, and backtrack when the model's
+//! response disagrees with the recorded one. Visited `(done-set, model
+//! state)` configurations are memoized, which keeps the search linear-ish
+//! on the small histories the model checker produces (it is bounded to 64
+//! operations total).
+//!
+//! Timestamps come from the controlled scheduler's decision-step counter
+//! ([`elision_sim::ScheduleControl::steps_taken`]). Precedence uses strict
+//! `responded < invoked`: two samples can only be equal when taken inside
+//! the same scheduling segment, and dropping such edges merely adds
+//! candidate orders — it can never produce a false "not linearizable".
+
+use crate::{AccessSite, Finding, LintId};
+use elision_structures::history::{OpRecord, SeqModel};
+use std::collections::HashSet;
+
+/// Check `ops` for linearizability against the sequential model whose
+/// initial state is `initial`.
+///
+/// Returns `None` when a valid linearization exists, otherwise a
+/// [`LintId::NotLinearizable`] finding whose sites list the history in
+/// canonical (invocation) order.
+///
+/// # Panics
+///
+/// Panics if the history exceeds 64 operations (the checker's done-set is
+/// a bitmask; the explorer's bounded configurations stay far below this).
+pub fn check_linearizable(initial: &SeqModel, ops_in: &[OpRecord]) -> Option<Finding> {
+    let mut ops: Vec<OpRecord> = ops_in.to_vec();
+    ops.sort_by_key(|o| (o.invoked, o.tid, o.seq));
+    let n = ops.len();
+    assert!(n <= 64, "linearizability checker is bounded to 64 operations, got {n}");
+    if n == 0 {
+        return None;
+    }
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    // preds[i]: bitmask of operations that must linearize before op i.
+    let mut preds = vec![0u64; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let (a, b) = (&ops[j], &ops[i]);
+            if a.responded < b.invoked || (a.tid == b.tid && a.seq < b.seq) {
+                preds[i] |= 1 << j;
+            }
+        }
+    }
+    let mut visited: HashSet<(u64, u64)> = HashSet::new();
+    let mut stack: Vec<(u64, SeqModel)> = vec![(0, initial.clone())];
+    while let Some((mask, model)) = stack.pop() {
+        if mask == full {
+            return None;
+        }
+        if !visited.insert((mask, model.digest())) {
+            continue;
+        }
+        for i in 0..n {
+            if mask & (1 << i) != 0 || preds[i] & !mask != 0 {
+                continue;
+            }
+            let mut next = model.clone();
+            if next.apply(ops[i].action) == ops[i].response {
+                stack.push((mask | (1 << i), next));
+            }
+        }
+    }
+    let shown = ops.iter().take(16).map(OpRecord::to_string).collect::<Vec<_>>().join("; ");
+    let ellipsis = if n > 16 { "; ..." } else { "" };
+    Some(Finding {
+        lint: LintId::NotLinearizable,
+        message: format!(
+            "history of {n} operation(s) admits no linearization consistent with \
+             real-time order and the sequential model: {shown}{ellipsis}"
+        ),
+        sites: ops
+            .iter()
+            .enumerate()
+            .map(|(idx, o)| AccessSite {
+                tid: o.tid,
+                var: None,
+                line: None,
+                time: o.invoked,
+                seq: idx,
+            })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elision_structures::history::{OpAction, OpResponse, StructureKind};
+
+    fn op(
+        tid: usize,
+        seq: usize,
+        action: OpAction,
+        response: OpResponse,
+        invoked: u64,
+        responded: u64,
+    ) -> OpRecord {
+        OpRecord { tid, seq, action, response, invoked, responded }
+    }
+
+    #[test]
+    fn empty_and_sequential_histories_linearize() {
+        let model = SeqModel::for_kind(StructureKind::Queue, 4);
+        assert!(check_linearizable(&model, &[]).is_none());
+        let ops = [
+            op(0, 0, OpAction::Push(1), OpResponse::Flag(true), 0, 1),
+            op(0, 1, OpAction::Pop, OpResponse::Value(Some(1)), 2, 3),
+            op(0, 2, OpAction::Pop, OpResponse::Value(None), 4, 5),
+        ];
+        assert!(check_linearizable(&model, &ops).is_none());
+    }
+
+    #[test]
+    fn overlapping_ops_may_reorder() {
+        // The pop overlaps the push in real time, so "push then pop" is a
+        // valid linearization even though the pop was invoked first.
+        let model = SeqModel::for_kind(StructureKind::Queue, 4);
+        let ops = [
+            op(0, 0, OpAction::Push(7), OpResponse::Flag(true), 2, 6),
+            op(1, 0, OpAction::Pop, OpResponse::Value(Some(7)), 1, 8),
+        ];
+        assert!(check_linearizable(&model, &ops).is_none());
+    }
+
+    #[test]
+    fn fifo_order_violation_is_caught() {
+        // Two pushes strictly ordered in real time, then two pops strictly
+        // ordered in real time that observe them in reverse: no valid
+        // linearization of a FIFO.
+        let model = SeqModel::for_kind(StructureKind::Queue, 4);
+        let ops = [
+            op(0, 0, OpAction::Push(1), OpResponse::Flag(true), 0, 1),
+            op(0, 1, OpAction::Push(2), OpResponse::Flag(true), 2, 3),
+            op(1, 0, OpAction::Pop, OpResponse::Value(Some(2)), 4, 5),
+            op(1, 1, OpAction::Pop, OpResponse::Value(Some(1)), 6, 7),
+        ];
+        let f = check_linearizable(&model, &ops).expect("reversed pops must not linearize");
+        assert_eq!(f.lint, LintId::NotLinearizable);
+        assert_eq!(f.sites.len(), 4, "finding lists the whole history");
+    }
+
+    #[test]
+    fn stale_read_is_caught() {
+        // t1 reads the map *after* t0's put responded, yet observes the
+        // old value: real-time order forbids linearizing the get first.
+        let model = SeqModel::for_kind(StructureKind::HashTable, 0);
+        let ops = [
+            op(0, 0, OpAction::MapPut(1, 10), OpResponse::Value(None), 0, 1),
+            op(1, 0, OpAction::MapGet(1), OpResponse::Value(None), 2, 3),
+        ];
+        assert!(check_linearizable(&model, &ops).is_some());
+        // The same observation is fine if the two overlapped.
+        let ops_overlap = [
+            op(0, 0, OpAction::MapPut(1, 10), OpResponse::Value(None), 0, 4),
+            op(1, 0, OpAction::MapGet(1), OpResponse::Value(None), 2, 3),
+        ];
+        assert!(check_linearizable(&model, &ops_overlap).is_none());
+    }
+
+    #[test]
+    fn program_order_binds_same_thread_ops() {
+        // Same thread, zero-width timestamps (uncontrolled run): program
+        // order still forces push before pop, which matches FIFO, while a
+        // pop observing a never-pushed value cannot linearize.
+        let model = SeqModel::for_kind(StructureKind::Queue, 4);
+        let ok = [
+            op(0, 0, OpAction::Push(3), OpResponse::Flag(true), 0, 0),
+            op(0, 1, OpAction::Pop, OpResponse::Value(Some(3)), 0, 0),
+        ];
+        assert!(check_linearizable(&model, &ok).is_none());
+        let bad = [op(0, 0, OpAction::Pop, OpResponse::Value(Some(9)), 0, 0)];
+        assert!(check_linearizable(&model, &bad).is_some());
+    }
+}

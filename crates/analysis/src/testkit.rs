@@ -1,0 +1,406 @@
+//! Shared known-bad fixtures: the sanitizer's and model checker's
+//! negative tests.
+//!
+//! A sanitizer that has never caught anything is indistinguishable from
+//! one that cannot. The fixtures here deliberately violate the protocol
+//! and are shared by the unit tests, the `sanitize_all` CI job, and the
+//! `model_check` explorer so none of them duplicates the setup. They come
+//! in two flavours:
+//!
+//! * **Fixed-schedule runs** — the violation fires on the standard
+//!   window-0 schedule, so a single run exhibits it:
+//!   [`broken_slr_schedule`] (the unsafe-lazy-subscription pitfall of
+//!   paper §5 — expected [`LintId::DataRace`] +
+//!   [`LintId::CommitWhileLockHeld`] + [`LintId::SlrUnsubscribedCommit`])
+//!   and [`double_release_schedule`] (expected
+//!   [`LintId::ReleaseWithoutAcquire`]).
+//! * **Schedule-dependent runs** — the *default* schedule is clean and
+//!   only a reordered interleaving exposes the bug, which is exactly what
+//!   the [`crate::explore`] model checker exists to find:
+//!   [`broken_slr_explore`] (an unsubscribed read-only transaction that
+//!   only commits inside the lock holder's critical section when the
+//!   scheduler is adversarial) and [`double_release_explore`] (a
+//!   double-release gated on a probe word another thread must win the
+//!   race to set).
+//!
+//! [`LintId::DataRace`]: crate::LintId::DataRace
+//! [`LintId::CommitWhileLockHeld`]: crate::LintId::CommitWhileLockHeld
+//! [`LintId::SlrUnsubscribedCommit`]: crate::LintId::SlrUnsubscribedCommit
+//! [`LintId::ReleaseWithoutAcquire`]: crate::LintId::ReleaseWithoutAcquire
+
+use crate::lint::{lint_trace, LintConfig};
+use crate::opacity::{check_opacity, OpacityConfig, OpacityPolicy};
+use crate::race::{detect_races, RaceConfig};
+use crate::Finding;
+use elision_htm::{codes, harness, HtmConfig, Memory, MemoryBuilder};
+use elision_locks::{RawLock, TtasLock};
+use elision_sim::{GlobalTrace, ScheduleControl, StepRecord};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Build the [`RaceConfig`] describing `mem`'s layout.
+pub fn race_cfg(mem: &Memory, threads: usize) -> RaceConfig {
+    RaceConfig {
+        threads,
+        words_per_line: mem.words_per_line() as u32,
+        lock_lines: (0..mem.line_count()).map(|l| mem.is_lock_line(l as u32)).collect(),
+    }
+}
+
+/// Run the broken eager-commit SLR variant: the transaction skips the
+/// subscription read (Figure 5 line 24) and commits while the lock
+/// holder is mid-critical-section. Returns all findings.
+pub fn broken_slr_schedule() -> Vec<Finding> {
+    let mut b = MemoryBuilder::new();
+    b.enable_sanitizer();
+    let lock = Arc::new(TtasLock::new(&mut b));
+    let x = b.alloc_isolated(0);
+    let y = b.alloc_isolated(0);
+    let mem = Arc::new(b.freeze(2));
+    let threads = 2;
+
+    let (rings, _makespan) = {
+        let lock = Arc::clone(&lock);
+        harness::run_arc(
+            threads,
+            0, // strict window: required for log soundness
+            HtmConfig::deterministic(),
+            7,
+            Arc::clone(&mem),
+            move |s| {
+                s.enable_trace(64);
+                if s.tid() == 0 {
+                    // The honest lock holder: a long critical section
+                    // mutating x then (much later) y.
+                    lock.acquire(s).expect("non-speculative acquire");
+                    s.store(x, 1).expect("plain store");
+                    s.work(5_000).expect("non-transactional work");
+                    s.store(y, 2).expect("plain store");
+                    lock.release(s).expect("non-speculative release");
+                } else {
+                    // The broken SLR transaction: reads the holder's
+                    // in-flight data and commits without subscribing.
+                    s.work(50).expect("non-transactional work");
+                    s.attempt(|s| {
+                        s.load(x)?;
+                        s.load(y)?;
+                        Ok(())
+                    })
+                    .expect("uncontended read-only txn commits");
+                }
+                s.trace.take().expect("trace enabled above")
+            },
+        )
+    };
+
+    let trace = GlobalTrace::merge(rings.iter().enumerate());
+    let san = mem.san_log().expect("sanitizer enabled above");
+    let events = san.snapshot();
+
+    let mut findings = detect_races(&race_cfg(&mem, threads), &events);
+    findings.extend(check_opacity(
+        &OpacityConfig {
+            policy: OpacityPolicy::Sandboxed,
+            main_lock: Some(lock.lock_word().index()),
+        },
+        san.initial_values(),
+        &events,
+    ));
+    findings.extend(lint_trace(
+        &LintConfig {
+            require_subscription: true,
+            aux_discipline: false,
+            main_lock: Some(lock.lock_word().index()),
+            aux_locks: Vec::new(),
+            threads,
+        },
+        &trace,
+    ));
+    findings
+}
+
+/// Run a schedule where a thread releases the lock twice. Returns all
+/// lint findings.
+pub fn double_release_schedule() -> Vec<Finding> {
+    let mut b = MemoryBuilder::new();
+    b.enable_sanitizer();
+    let lock = Arc::new(TtasLock::new(&mut b));
+    let data = b.alloc_isolated(0);
+    let mem = Arc::new(b.freeze(1));
+
+    let (rings, _makespan) = {
+        let lock = Arc::clone(&lock);
+        harness::run_arc(1, 0, HtmConfig::deterministic(), 7, Arc::clone(&mem), move |s| {
+            s.enable_trace(64);
+            lock.acquire(s).expect("non-speculative acquire");
+            s.store(data, 1).expect("plain store");
+            lock.release(s).expect("non-speculative release");
+            // The bug: a second release of a lock this thread no
+            // longer holds.
+            lock.release(s).expect("non-speculative release");
+            s.trace.take().expect("trace enabled above")
+        })
+    };
+
+    let trace = GlobalTrace::merge(rings.iter().enumerate());
+    lint_trace(
+        &LintConfig {
+            require_subscription: false,
+            aux_discipline: false,
+            main_lock: Some(lock.lock_word().index()),
+            aux_locks: Vec::new(),
+            threads: 1,
+        },
+        &trace,
+    )
+}
+
+/// A controlled run's observable outcome: the schedule that was executed
+/// (one [`StepRecord`] per decision) and everything the analysis passes
+/// found on it.
+pub type ExploreRun = (Vec<StepRecord>, Vec<Finding>);
+
+/// Schedule-dependent broken SLR: an unsubscribed read-only transaction
+/// racing a non-speculative lock holder, arranged so the *default*
+/// window-0 schedule is clean.
+///
+/// Thread 1's transaction reads `x` and `y` and commits immediately,
+/// while thread 0 first burns a long stretch of non-critical work and
+/// only then takes the lock and writes both words. Under the default
+/// `(clock, id)`-minimal schedule the transaction therefore commits long
+/// before the lock is even acquired — no race (the later plain writes
+/// join the global commit clock) and no commit-while-locked. Only an
+/// adversarial schedule that delays the reader into the critical section
+/// exposes the missing subscription as
+/// [`LintId::CommitWhileLockHeld`](crate::LintId::CommitWhileLockHeld)
+/// and/or [`LintId::DataRace`](crate::LintId::DataRace).
+///
+/// The lint pass runs with `require_subscription: false` on purpose: the
+/// always-firing subscription lint would otherwise mask the
+/// schedule-dependence this fixture exists to demonstrate.
+pub fn broken_slr_explore(overrides: &BTreeMap<usize, usize>) -> ExploreRun {
+    let mut b = MemoryBuilder::new();
+    b.enable_sanitizer();
+    let lock = Arc::new(TtasLock::new(&mut b));
+    let x = b.alloc_isolated(0);
+    let y = b.alloc_isolated(0);
+    let mem = Arc::new(b.freeze(2));
+    let threads = 2;
+    let control = Arc::new(ScheduleControl::new(threads, overrides.clone()));
+
+    let (rings, _makespan) = {
+        let lock = Arc::clone(&lock);
+        harness::run_arc_controlled(
+            threads,
+            HtmConfig::deterministic(),
+            7,
+            Arc::clone(&control),
+            Arc::clone(&mem),
+            move |s| {
+                s.enable_trace(256);
+                if s.tid() == 0 {
+                    // Long non-critical prelude, then the critical
+                    // section. Under the default schedule the peer's
+                    // whole transaction fits inside the prelude.
+                    s.work(200).expect("non-transactional work");
+                    lock.acquire(s).expect("non-speculative acquire");
+                    s.store(x, 1).expect("plain store");
+                    s.work(20).expect("non-transactional work");
+                    s.store(y, 2).expect("plain store");
+                    lock.release(s).expect("non-speculative release");
+                } else {
+                    // Unsubscribed read-only transaction, bounded retry:
+                    // adversarial schedules may doom it repeatedly.
+                    for _ in 0..4 {
+                        let done = s
+                            .attempt(|s| {
+                                s.load(x)?;
+                                s.load(y)?;
+                                Ok(())
+                            })
+                            .is_ok();
+                        if done {
+                            break;
+                        }
+                    }
+                }
+                s.trace.take().expect("trace enabled above")
+            },
+        )
+    };
+
+    let trace = GlobalTrace::merge(rings.iter().enumerate());
+    let san = mem.san_log().expect("sanitizer enabled above");
+    let events = san.snapshot();
+
+    let mut findings = detect_races(&race_cfg(&mem, threads), &events);
+    findings.extend(check_opacity(
+        &OpacityConfig {
+            policy: OpacityPolicy::Sandboxed,
+            main_lock: Some(lock.lock_word().index()),
+        },
+        san.initial_values(),
+        &events,
+    ));
+    findings.extend(lint_trace(
+        &LintConfig {
+            require_subscription: false,
+            aux_discipline: false,
+            main_lock: Some(lock.lock_word().index()),
+            aux_locks: Vec::new(),
+            threads,
+        },
+        &trace,
+    ));
+    (control.steps(), findings)
+}
+
+/// Schedule-dependent double release: thread 0 releases the lock a
+/// second time only when it observes `probe == 1`, and thread 1 — which
+/// publishes the probe through a properly subscribed transaction — loses
+/// the race under the default schedule.
+///
+/// Thread 0 samples the probe *inside* its critical section, and thread
+/// 1's transaction validates its lock subscription before committing
+/// (the correct SLR shape — it deliberately contains no bug and never
+/// spins on the lock), so no schedule produces a data race or a
+/// commit-while-locked: the *only* finding any schedule can produce is
+/// [`LintId::ReleaseWithoutAcquire`](crate::LintId::ReleaseWithoutAcquire)
+/// — and only on interleavings where thread 1's transaction commits
+/// before thread 0 samples the probe.
+pub fn double_release_explore(overrides: &BTreeMap<usize, usize>) -> ExploreRun {
+    let mut b = MemoryBuilder::new();
+    b.enable_sanitizer();
+    let lock = Arc::new(TtasLock::new(&mut b));
+    let data = b.alloc_isolated(0);
+    let probe = b.alloc_isolated(0);
+    let mem = Arc::new(b.freeze(2));
+    let threads = 2;
+    let control = Arc::new(ScheduleControl::new(threads, overrides.clone()));
+
+    let (rings, _makespan) = {
+        let lock = Arc::clone(&lock);
+        harness::run_arc_controlled(
+            threads,
+            HtmConfig::deterministic(),
+            7,
+            Arc::clone(&control),
+            Arc::clone(&mem),
+            move |s| {
+                s.enable_trace(256);
+                if s.tid() == 0 {
+                    lock.acquire(s).expect("non-speculative acquire");
+                    s.store(data, 1).expect("plain store");
+                    let p = s.load(probe).expect("plain load under the lock");
+                    lock.release(s).expect("non-speculative release");
+                    if p == 1 {
+                        // The bug: releasing again because a peer was
+                        // observed to have run first.
+                        lock.release(s).expect("non-speculative release");
+                    }
+                } else {
+                    // Late-starting peer: under the default schedule its
+                    // transaction commits after thread 0 sampled the
+                    // probe. The transaction itself is a *correct* SLR
+                    // shape: subscribe-and-validate before committing.
+                    s.work(60).expect("non-transactional work");
+                    for _ in 0..4 {
+                        let done = s
+                            .attempt(|s| {
+                                s.store(probe, 1)?;
+                                if lock.is_locked(s)? {
+                                    return Err(s.xabort(codes::LOCK_BUSY, true));
+                                }
+                                Ok(())
+                            })
+                            .is_ok();
+                        if done {
+                            break;
+                        }
+                    }
+                }
+                s.trace.take().expect("trace enabled above")
+            },
+        )
+    };
+
+    let trace = GlobalTrace::merge(rings.iter().enumerate());
+    let san = mem.san_log().expect("sanitizer enabled above");
+    let events = san.snapshot();
+
+    let mut findings = detect_races(&race_cfg(&mem, threads), &events);
+    findings.extend(check_opacity(
+        &OpacityConfig { policy: OpacityPolicy::Strict, main_lock: Some(lock.lock_word().index()) },
+        san.initial_values(),
+        &events,
+    ));
+    findings.extend(lint_trace(
+        &LintConfig {
+            require_subscription: false,
+            aux_discipline: false,
+            main_lock: Some(lock.lock_word().index()),
+            aux_locks: Vec::new(),
+            threads,
+        },
+        &trace,
+    ));
+    (control.steps(), findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintId;
+
+    #[test]
+    fn broken_slr_trips_race_lock_held_and_subscription_lints() {
+        let findings = broken_slr_schedule();
+        for expected in
+            [LintId::DataRace, LintId::CommitWhileLockHeld, LintId::SlrUnsubscribedCommit]
+        {
+            let hit = findings.iter().find(|f| f.lint == expected);
+            let hit = hit.unwrap_or_else(|| panic!("{expected} not detected: {findings:#?}"));
+            assert!(!hit.sites.is_empty(), "{expected} finding lacks provenance");
+        }
+        // The race must implicate both threads with real provenance.
+        let race = findings.iter().find(|f| f.lint == LintId::DataRace).expect("checked above");
+        let tids: Vec<usize> = race.sites.iter().map(|s| s.tid).collect();
+        assert!(tids.contains(&0) && tids.contains(&1), "race sites: {:?}", race.sites);
+    }
+
+    #[test]
+    fn double_release_trips_the_lint() {
+        let findings = double_release_schedule();
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].lint, LintId::ReleaseWithoutAcquire);
+        assert!(!findings[0].sites.is_empty());
+    }
+
+    #[test]
+    fn explore_fixtures_are_clean_on_the_default_schedule() {
+        let (steps, findings) = broken_slr_explore(&BTreeMap::new());
+        assert!(!steps.is_empty(), "controlled run recorded no decisions");
+        assert!(findings.is_empty(), "default broken-SLR schedule must be clean: {findings:#?}");
+
+        let (steps, findings) = double_release_explore(&BTreeMap::new());
+        assert!(!steps.is_empty(), "controlled run recorded no decisions");
+        assert!(
+            findings.is_empty(),
+            "default double-release schedule must be clean: {findings:#?}"
+        );
+    }
+
+    #[test]
+    fn explore_fixtures_replay_deterministically() {
+        let (a_steps, a_findings) = broken_slr_explore(&BTreeMap::new());
+        let (b_steps, b_findings) = broken_slr_explore(&BTreeMap::new());
+        assert_eq!(a_steps.len(), b_steps.len());
+        for (a, b) in a_steps.iter().zip(&b_steps) {
+            assert_eq!(a.chosen, b.chosen);
+            assert_eq!(a.default, b.default);
+            assert_eq!(a.enabled, b.enabled);
+            assert_eq!(a.accesses, b.accesses);
+        }
+        assert_eq!(a_findings, b_findings);
+    }
+}

@@ -9,7 +9,7 @@
 //! serialized into the metrics JSON (`--metrics <dir>`).
 
 use elision_analysis::driver::{sanitize_run, SanReport, SanitizeSpec};
-use elision_analysis::seeded::{broken_slr_schedule, double_release_schedule};
+use elision_analysis::testkit::{broken_slr_schedule, double_release_schedule};
 use elision_analysis::{Finding, LintId};
 use elision_bench::metrics::{Json, MetricsReport};
 use elision_bench::report::Table;

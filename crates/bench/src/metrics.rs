@@ -509,4 +509,149 @@ mod tests {
         assert_eq!(j.get("capacity").and_then(Json::as_u64), Some(2));
         assert_eq!(j.get("data_conflict").and_then(Json::as_u64), Some(0));
     }
+
+    use proptest::prelude::*;
+    use proptest::{ProptestConfig, Strategy, TestRng};
+
+    /// A generator for arbitrary nested [`Json`] values, restricted to
+    /// the *canonical* forms the renderer emits and the parser produces:
+    /// non-negative integers are `Uint` (never `Int`), `Int` is strictly
+    /// negative, floats are finite (non-finite renders as `null`, which
+    /// cannot roundtrip). Depth is bounded so documents stay small.
+    #[derive(Debug, Clone, Copy)]
+    struct ArbJson {
+        depth: u32,
+    }
+
+    impl Strategy for ArbJson {
+        type Value = Json;
+
+        fn sample(&self, rng: &mut TestRng) -> Json {
+            gen_json(rng, self.depth)
+        }
+    }
+
+    fn gen_string(rng: &mut TestRng) -> String {
+        const ALPHABET: &[char] = &[
+            'a', 'B', '7', ' ', '_', '"', '\\', '/', '\n', '\r', '\t', '\u{1}', '\u{1f}', 'é', 'λ',
+            '雪', '🦀',
+        ];
+        (0..rng.below(9)).map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize]).collect()
+    }
+
+    fn gen_json(rng: &mut TestRng, depth: u32) -> Json {
+        // Only recurse into containers while depth remains.
+        let arms = if depth == 0 { 6 } else { 8 };
+        match rng.below(arms) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.below(2) == 1),
+            2 => Json::Uint(rng.next_u64()),
+            3 => Json::Int(-1 - (rng.below(1 << 62) as i64)),
+            4 => {
+                // Random bit patterns cover subnormals and extreme
+                // exponents; fall back to a bounded value for the
+                // non-finite patterns the wire format cannot carry.
+                let bits = f64::from_bits(rng.next_u64());
+                Json::Float(if bits.is_finite() { bits } else { rng.unit() * 2e9 - 1e9 })
+            }
+            5 => Json::Str(gen_string(rng)),
+            6 => Json::Arr((0..rng.below(4)).map(|_| gen_json(rng, depth - 1)).collect()),
+            _ => Json::Obj(
+                (0..rng.below(4)).map(|_| (gen_string(rng), gen_json(rng, depth - 1))).collect(),
+            ),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Serializer → parser roundtrip: any canonical document must
+        /// parse back to itself, and re-rendering the parse must be
+        /// byte-identical (the determinism the artifact gates rely on).
+        #[test]
+        fn render_parse_roundtrips_arbitrary_documents(doc in ArbJson { depth: 3 }) {
+            let rendered = doc.render();
+            let parsed = parse(&rendered)
+                .map_err(|e| TestCaseError::fail(format!("own output rejected: {e}\n{rendered}")))?;
+            prop_assert_eq!(&parsed, &doc, "parse(render(doc)) != doc");
+            prop_assert_eq!(parsed.render(), rendered, "re-render not byte-identical");
+        }
+
+        /// Appending garbage after any valid document must be rejected
+        /// (the parser's trailing-data check holds for every document,
+        /// not just the hand-written cases below).
+        #[test]
+        fn trailing_garbage_is_always_rejected(doc in ArbJson { depth: 2 }) {
+            let mut text = doc.render();
+            text.push('x');
+            prop_assert!(parse(&text).is_err(), "trailing garbage accepted after {text}");
+        }
+
+        /// Truncating a rendered document anywhere strictly inside it
+        /// must never yield a successful parse of the same value (a
+        /// prefix can parse only when it is itself a complete smaller
+        /// document, e.g. cutting digits off a number).
+        #[test]
+        fn truncation_never_parses_to_the_same_value(doc in ArbJson { depth: 2 }) {
+            let rendered = doc.render();
+            let cut = rendered.len() / 2;
+            if cut > 0 && rendered.is_char_boundary(cut) {
+                if let Ok(v) = parse(&rendered[..cut]) {
+                    prop_assert_ne!(v, doc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        // One representative per syntax-error class; `parse` must reject
+        // every one of them rather than guessing.
+        let bad = [
+            "",
+            "   ",
+            "{",
+            "}",
+            "[",
+            "]",
+            "[1,]",
+            "[1 2]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{\"a\":1,}",
+            "{a:1}",
+            "{\"a\":1 \"b\":2}",
+            "tru",
+            "falsee",
+            "nul",
+            "+1",
+            "1.2.3",
+            "1e",
+            "--4",
+            "\"\\x41\"",
+            "\"\\u12\"",
+            "\"unterminated",
+            "{} {}",
+            "[] null",
+            "\u{1}",
+        ];
+        for text in bad {
+            assert!(parse(text).is_err(), "parser accepted malformed input: {text:?}");
+        }
+    }
+
+    #[test]
+    fn number_parsing_canonicalizes_types() {
+        // The parser's number taxonomy: decimal/exponent → Float,
+        // leading '-' → Int, plain digits → Uint.
+        assert_eq!(parse("42").unwrap(), Json::Uint(42));
+        assert_eq!(parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(parse("42.0").unwrap(), Json::Float(42.0));
+        assert_eq!(parse("4e2").unwrap(), Json::Float(400.0));
+        assert_eq!(parse("18446744073709551615").unwrap(), Json::Uint(u64::MAX));
+        assert_eq!(parse("-9223372036854775808").unwrap(), Json::Int(i64::MIN));
+        // Out-of-range integers do not wrap silently.
+        assert!(parse("18446744073709551616").is_err());
+        assert!(parse("-9223372036854775809").is_err());
+    }
 }

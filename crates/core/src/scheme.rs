@@ -226,6 +226,18 @@ impl SchemeConfig {
         }
     }
 
+    /// The model-checking configuration: the paper's settings with the
+    /// sanitizer log enabled. Deliberately keeps `breaker: None` — the
+    /// circuit breaker's state lives in host atomics invisible to the
+    /// explorer's per-step footprints, so enabling it would make the
+    /// partial-order reduction unsound (steps could interact through
+    /// state the dependence relation cannot see). The explorer also only
+    /// drives [`super::SchemeKind::ALL`], which excludes `GroupedScm` for
+    /// the same reason (its aux-lock round-robin cursor is a host atomic).
+    pub fn explore() -> Self {
+        SchemeConfig { sanitize: true, ..Self::paper() }
+    }
+
     /// The hardened configuration: the paper's settings plus bounded
     /// exponential backoff with jitter, capacity-abort fast-pathing, and
     /// the speculation circuit breaker. This is what the chaos harness

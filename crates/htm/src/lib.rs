@@ -72,7 +72,7 @@ pub use strand::Strand;
 /// [`Strand`] over the same memory, and run `body` on all of them.
 pub mod harness {
     use crate::{HtmConfig, Memory, Strand};
-    use elision_sim::{FaultPlan, FaultStats, SimBuilder};
+    use elision_sim::{FaultPlan, FaultStats, ScheduleControl, SimBuilder};
     use std::sync::Arc;
 
     /// Run `body` on `threads` simulated strands sharing `mem`.
@@ -137,6 +137,29 @@ pub mod harness {
             body(&mut strand)
         });
         (out.results, out.makespan, out.fault_stats)
+    }
+
+    /// Like [`run_arc`], but serialized under a model-checker
+    /// [`ScheduleControl`]: every costed event becomes a decision point
+    /// replayed from the control's schedule (always window 0, no faults).
+    /// Read the recorded steps back from the control after the run.
+    pub fn run_arc_controlled<R, F>(
+        threads: usize,
+        cfg: HtmConfig,
+        seed: u64,
+        control: Arc<ScheduleControl>,
+        mem: Arc<Memory>,
+        body: F,
+    ) -> (Vec<R>, u64)
+    where
+        R: Send + 'static,
+        F: Fn(&mut Strand) -> R + Clone + Send + Sync + 'static,
+    {
+        let out = SimBuilder::new(threads).control(control).run(move |ctx| {
+            let mut strand = Strand::new(Arc::clone(&mem), ctx.handle, cfg, seed);
+            body(&mut strand)
+        });
+        (out.results, out.makespan)
     }
 }
 

@@ -126,7 +126,15 @@ impl Strand {
 
     fn trace_event(&mut self, ev: TraceEvent) {
         if let Some(ring) = self.trace.as_mut() {
-            ring.record(self.sim.now(), ev);
+            // Lint passes order the merged trace by timestamp. Per-thread
+            // cycle clocks only agree with execution order under the
+            // default min-clock schedule; in a controlled run an
+            // adversarial schedule runs threads "in the past", so stamp
+            // with the global decision-step counter instead — each step
+            // belongs to exactly one thread, and the stable merge keeps
+            // same-step (same-thread) events in ring order.
+            let t = if self.sim.controlled() { self.sim.steps_taken() } else { self.sim.now() };
+            ring.record(t, ev);
         }
     }
 
@@ -174,6 +182,12 @@ impl Strand {
     /// The thread's logical clock.
     pub fn now(&self) -> u64 {
         self.sim.now()
+    }
+
+    /// The scheduler handle backing this strand. The model checker uses it
+    /// to read controlled-run step counts for history timestamps.
+    pub fn sim(&self) -> &SimHandle {
+        &self.sim
     }
 
     /// The shared memory.
@@ -244,6 +258,24 @@ impl Strand {
     pub fn commit(&mut self) -> Result<(), AbortStatus> {
         assert!(self.txn.is_some(), "commit outside a transaction");
         self.sim.advance(self.cfg.cost.txn_commit);
+        if self.sim.controlled() {
+            // Model-checker footprint: the commit outcome depends on the
+            // doom flag, which a peer write to *any* read- or write-set
+            // line flips, and publication writes every write-set line —
+            // so the whole sets are part of this step's footprint. Sorted
+            // because HashSet iteration order is nondeterministic.
+            let txn = self.txn.as_ref().expect("checked above");
+            let mut reads: Vec<u32> = txn.read_lines.iter().copied().collect();
+            reads.sort_unstable();
+            let mut writes: Vec<u32> = txn.write_lines.iter().copied().collect();
+            writes.sort_unstable();
+            for l in reads {
+                self.sim.note_access(l, false);
+            }
+            for l in writes {
+                self.sim.note_access(l, true);
+            }
+        }
         if let Err(Abort) = self.health_check() {
             return Err(self.last_abort);
         }
@@ -528,6 +560,10 @@ impl Strand {
             }
             let line = self.mem.line_of(var);
             self.track_read(line)?;
+            // Every transactional raw load is footprint-relevant, not just
+            // the first touch: a re-read of a tracked line is still
+            // order-sensitive against peer writes (zombie reads).
+            self.sim.note_access(line.0, false);
             let v = self.mem.raw_load(var);
             // Re-check after reading so a value published concurrently
             // with our registration is never returned to a live
@@ -544,6 +580,7 @@ impl Strand {
             if writers != 0 {
                 self.mem.doom_bitmap(writers, self.tid, line);
             }
+            self.sim.note_access(line.0, false);
             self.san(SanAccess::Read { var, value: v, txn: false });
             Ok(v)
         }
@@ -563,6 +600,10 @@ impl Strand {
             if !elided {
                 let line = self.mem.line_of(var);
                 self.track_write(line)?;
+                // Elided stores, by contrast, are purely local illusions:
+                // noting them would manufacture false dependences between
+                // concurrent eliders of the same lock.
+                self.sim.note_access(line.0, true);
             }
             self.txn.as_mut().expect("in txn").wbuf.insert(var, value);
             Ok(())
@@ -572,6 +613,7 @@ impl Strand {
             let line = self.mem.line_of(var);
             let peers = self.mem.readers_of(line) | self.mem.writers_of(line);
             self.mem.doom_bitmap(peers, self.tid, line);
+            self.sim.note_access(line.0, true);
             self.san(SanAccess::Write { var, value, txn: false });
             Ok(())
         }
@@ -591,6 +633,7 @@ impl Strand {
                 None => {
                     let line = self.mem.line_of(var);
                     self.track_read(line)?;
+                    self.sim.note_access(line.0, false);
                     let v = self.mem.raw_load(var);
                     self.health_check()?;
                     self.san(SanAccess::Read { var, value: v, txn: true });
@@ -600,6 +643,7 @@ impl Strand {
             if !elided {
                 let line = self.mem.line_of(var);
                 self.track_write(line)?;
+                self.sim.note_access(line.0, true);
             }
             self.txn.as_mut().expect("in txn").wbuf.insert(var, f(old));
             Ok(old)
@@ -611,6 +655,7 @@ impl Strand {
             let line = self.mem.line_of(var);
             let peers = self.mem.readers_of(line) | self.mem.writers_of(line);
             self.mem.doom_bitmap(peers, self.tid, line);
+            self.sim.note_access(line.0, true);
             self.san(SanAccess::Read { var, value: old, txn: false });
             self.san(SanAccess::Write { var, value: new, txn: false });
             Ok(old)
@@ -673,6 +718,9 @@ impl Strand {
             None => {
                 let line = self.mem.line_of(var);
                 self.track_read(line)?;
+                // Read-set only: the elided "write" is a local illusion,
+                // so the model-checker footprint is a plain read.
+                self.sim.note_access(line.0, false);
                 let v = self.mem.raw_load(var);
                 self.health_check()?;
                 self.san(SanAccess::Read { var, value: v, txn: true });

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod control;
 mod cost;
 mod fault;
 mod rng;
@@ -52,6 +53,7 @@ mod slots;
 mod stats;
 mod trace;
 
+pub use control::{ScheduleControl, StepAccess, StepRecord};
 pub use cost::CostModel;
 pub use fault::{FaultPlan, FaultStats, PreemptSpec};
 pub use rng::DetRng;
@@ -146,6 +148,7 @@ pub struct SimBuilder {
     threads: usize,
     window: u64,
     faults: FaultPlan,
+    control: Option<Arc<ScheduleControl>>,
 }
 
 impl SimBuilder {
@@ -162,7 +165,7 @@ impl SimBuilder {
             "at most {} simulated threads are supported",
             sched::MAX_THREADS
         );
-        SimBuilder { threads, window: 64, faults: FaultPlan::none() }
+        SimBuilder { threads, window: 64, faults: FaultPlan::none(), control: None }
     }
 
     /// Set the bounded-lag window, in cycles.
@@ -184,6 +187,15 @@ impl SimBuilder {
         self
     }
 
+    /// Serialize the run under a model-checker [`ScheduleControl`]: every
+    /// [`SimHandle::advance`] becomes a decision point replayed from the
+    /// control's schedule. Forces window 0 semantics and bypasses any
+    /// attached fault plan (see the [`control`] module docs).
+    pub fn control(mut self, control: Arc<ScheduleControl>) -> Self {
+        self.control = Some(control);
+        self
+    }
+
     /// Number of simulated threads this builder will run.
     pub fn threads(&self) -> usize {
         self.threads
@@ -198,7 +210,10 @@ impl SimBuilder {
         R: Send + 'static,
         F: Fn(ThreadCtx) -> R + Clone + Send + 'static,
     {
-        let sched = Arc::new(Scheduler::with_faults(self.threads, self.window, self.faults));
+        let sched = Arc::new(match &self.control {
+            Some(ctl) => Scheduler::with_control(self.threads, Arc::clone(ctl)),
+            None => Scheduler::with_faults(self.threads, self.window, self.faults),
+        });
         let _in_flight = InFlightGuard::new(self.threads);
         let mut joins = Vec::with_capacity(self.threads);
         for id in 0..self.threads {

@@ -19,6 +19,7 @@
 //! threads, and on the single-CPU hosts this workspace targets the condvar
 //! broadcast is cheap relative to the simulated work.
 
+use crate::control::ScheduleControl;
 use crate::fault::{FaultPlan, FaultStats, FaultThreadState};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -49,6 +50,9 @@ pub struct Scheduler {
     /// Each entry is only ever locked by its own thread, so the mutexes are
     /// uncontended — they exist to make the state shareable via `&self`.
     faults: Vec<Mutex<FaultThreadState>>,
+    /// When set, every `advance` is a serialized decision point driven by
+    /// the model checker instead of the bounded-lag parking rule.
+    control: Option<Arc<ScheduleControl>>,
 }
 
 impl Scheduler {
@@ -74,7 +78,20 @@ impl Scheduler {
             gate: Mutex::new(false),
             cv: Condvar::new(),
             faults,
+            control: None,
         }
+    }
+
+    /// Create a scheduler whose interleaving is dictated by `control`
+    /// (see [`ScheduleControl`]). Controlled runs are always window 0 and
+    /// never inject faults: the clock still accrues per-thread costs (it
+    /// feeds the default min-clock choice and the final makespan), but
+    /// parking is replaced by the control's serialized turn-taking.
+    pub fn with_control(threads: usize, control: Arc<ScheduleControl>) -> Self {
+        assert_eq!(control.threads(), threads, "control sized for a different thread count");
+        let mut s = Self::with_faults(threads, 0, FaultPlan::none());
+        s.control = Some(control);
+        s
     }
 
     /// The faults injected so far into thread `id`, or `None` when the run
@@ -151,6 +168,11 @@ impl Scheduler {
     }
 
     fn advance(&self, id: usize, cost: u64) {
+        if let Some(ctl) = &self.control {
+            self.times[id].0.fetch_add(cost, Ordering::SeqCst);
+            ctl.at_decision_point(id, &|tid| self.times[tid].0.load(Ordering::SeqCst));
+            return;
+        }
         let cost = match self.faults.get(id) {
             Some(f) => {
                 let now = self.times[id].0.load(Ordering::SeqCst);
@@ -172,6 +194,10 @@ impl Scheduler {
 
     fn finish(&self, id: usize) {
         self.times[id].0.store(DONE, Ordering::SeqCst);
+        if let Some(ctl) = &self.control {
+            ctl.thread_finished(id, &|tid| self.times[tid].0.load(Ordering::SeqCst));
+            return;
+        }
         let _g = self.gate.lock();
         self.cv.notify_all();
     }
@@ -221,6 +247,27 @@ impl SimHandle {
     /// Block until the start gate opens (all simulated threads spawned).
     pub fn wait_for_start(&self) {
         self.sched.wait_for_start();
+    }
+
+    /// Whether this run is serialized under a [`ScheduleControl`].
+    pub fn controlled(&self) -> bool {
+        self.sched.control.is_some()
+    }
+
+    /// Report a shared-line access for model-checker footprints. A no-op
+    /// outside controlled runs, so instrumentation can call this
+    /// unconditionally on hot paths.
+    pub fn note_access(&self, line: u32, write: bool) {
+        if let Some(ctl) = &self.sched.control {
+            ctl.note_access(self.id, line, write);
+        }
+    }
+
+    /// Decision steps taken so far in a controlled run (0 otherwise).
+    /// Monotone over the serialized execution, so usable as a logical
+    /// timestamp for operation-history recording.
+    pub fn steps_taken(&self) -> u64 {
+        self.sched.control.as_ref().map_or(0, |c| c.steps_taken() as u64)
     }
 
     /// Mark the thread finished, excluding it from min-clock computation

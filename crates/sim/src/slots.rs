@@ -12,6 +12,28 @@
 
 use crate::stats::{AbortCause, CauseHistogram};
 
+/// Add `src` into `dst` slot-wise, zero-extending `dst` first so no tail
+/// count on either side is ever dropped (a *total* merge).
+fn add_padded(dst: &mut Vec<u64>, src: &[u64]) {
+    if src.len() > dst.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// Histogram counterpart of [`add_padded`]: merge `src` into `dst`
+/// slot-wise, extending `dst` with empty histograms as needed.
+fn merge_padded(dst: &mut Vec<CauseHistogram>, src: &[CauseHistogram]) {
+    if src.len() > dst.len() {
+        dst.resize(src.len(), CauseHistogram::new());
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.merge(s);
+    }
+}
+
 /// Records completion events bucketed by logical-time slot.
 ///
 /// One recorder per thread; merge them with [`SlotRecorder::merge`] after
@@ -60,14 +82,8 @@ impl SlotRecorder {
     /// Panics if the slot widths differ.
     pub fn merge(&mut self, other: &SlotRecorder) {
         assert_eq!(self.slot_cycles, other.slot_cycles, "slot widths must match");
-        if other.completed.len() > self.completed.len() {
-            self.completed.resize(other.completed.len(), 0);
-            self.nonspec.resize(other.nonspec.len(), 0);
-        }
-        for (i, (&c, &n)) in other.completed.iter().zip(&other.nonspec).enumerate() {
-            self.completed[i] += c;
-            self.nonspec[i] += n;
-        }
+        add_padded(&mut self.completed, &other.completed);
+        add_padded(&mut self.nonspec, &other.nonspec);
     }
 
     /// Finish recording and compute the per-slot series.
@@ -114,19 +130,24 @@ impl SlotSeries {
     /// this one: raw counts add slot-wise and the derived per-slot ratios
     /// are recomputed over the combined counts.
     ///
+    /// This is a *total* merge: each raw vector is independently
+    /// zero-extended to the longest input, so mismatched slot counts —
+    /// including a series whose `completed` and `nonspec` lengths disagree
+    /// (both fields are public) — extend the result instead of silently
+    /// truncating tail slots or panicking out of bounds.
+    ///
     /// # Panics
     ///
     /// Panics if the slot widths differ.
     pub fn merge(&mut self, other: &SlotSeries) {
         assert_eq!(self.slot_cycles, other.slot_cycles, "slot widths must match");
-        if other.completed.len() > self.completed.len() {
-            self.completed.resize(other.completed.len(), 0);
-            self.nonspec.resize(other.nonspec.len(), 0);
-        }
-        for (i, (&c, &n)) in other.completed.iter().zip(&other.nonspec).enumerate() {
-            self.completed[i] += c;
-            self.nonspec[i] += n;
-        }
+        add_padded(&mut self.completed, &other.completed);
+        add_padded(&mut self.nonspec, &other.nonspec);
+        // Square the result up so the derived per-slot vectors (computed by
+        // zipping the two) cover every slot that holds a count.
+        let width = self.completed.len().max(self.nonspec.len());
+        self.completed.resize(width, 0);
+        self.nonspec.resize(width, 0);
         self.recompute();
     }
 
@@ -199,12 +220,7 @@ impl CauseSlotRecorder {
     /// Panics if the slot widths differ.
     pub fn merge(&mut self, other: &CauseSlotRecorder) {
         assert_eq!(self.slot_cycles, other.slot_cycles, "slot widths must match");
-        if other.slots.len() > self.slots.len() {
-            self.slots.resize(other.slots.len(), CauseHistogram::new());
-        }
-        for (mine, theirs) in self.slots.iter_mut().zip(&other.slots) {
-            mine.merge(theirs);
-        }
+        merge_padded(&mut self.slots, &other.slots);
     }
 
     /// Finish recording.
@@ -229,19 +245,15 @@ impl CauseSlotSeries {
     }
 
     /// Merge another series (same slot width) into this one, histogram by
-    /// histogram.
+    /// histogram. Total like [`SlotSeries::merge`]: the shorter side is
+    /// extended with empty histograms, never truncated.
     ///
     /// # Panics
     ///
     /// Panics if the slot widths differ.
     pub fn merge(&mut self, other: &CauseSlotSeries) {
         assert_eq!(self.slot_cycles, other.slot_cycles, "slot widths must match");
-        if other.slots.len() > self.slots.len() {
-            self.slots.resize(other.slots.len(), CauseHistogram::new());
-        }
-        for (mine, theirs) in self.slots.iter_mut().zip(&other.slots) {
-            mine.merge(theirs);
-        }
+        merge_padded(&mut self.slots, &other.slots);
     }
 
     /// Whether the series is empty.
@@ -370,6 +382,109 @@ mod tests {
     fn cause_slots_reject_mismatched_widths() {
         let mut a = CauseSlotRecorder::new(10);
         a.merge(&CauseSlotRecorder::new(20));
+    }
+
+    /// Build a series directly from raw counts (the public fields allow
+    /// internally inconsistent lengths, which merge must tolerate).
+    fn raw_series(completed: Vec<u64>, nonspec: Vec<u64>) -> SlotSeries {
+        let mut s = SlotSeries {
+            slot_cycles: 10,
+            completed,
+            nonspec,
+            normalized_throughput: Vec::new(),
+            frac_nonspec: Vec::new(),
+        };
+        s.recompute();
+        s
+    }
+
+    #[test]
+    fn series_merge_extends_mismatched_lengths_instead_of_truncating() {
+        // Regression: `other` with more slots than `self` — and with its
+        // own completed/nonspec lengths disagreeing — used to truncate the
+        // tail of the longer vector (zip over the shorter) or index out of
+        // bounds. A total merge keeps every count.
+        let mut a = raw_series(vec![1, 1], vec![1]);
+        let b = raw_series(vec![2, 2, 2, 7], vec![0, 0, 0, 0, 9]);
+        a.merge(&b);
+        assert_eq!(a.completed, vec![3, 3, 2, 7, 0], "tail slots must survive the merge");
+        assert_eq!(a.nonspec, vec![1, 0, 0, 0, 9], "nonspec tail must survive the merge");
+        assert_eq!(a.normalized_throughput.len(), 5, "derived vectors cover all slots");
+        assert_eq!(a.frac_nonspec.len(), 5);
+        // Same in the other direction: a longer `self` keeps its tail.
+        let mut c = raw_series(vec![5, 5, 5], vec![0, 0, 5]);
+        c.merge(&raw_series(vec![1], vec![1]));
+        assert_eq!(c.completed, vec![6, 5, 5]);
+        assert_eq!(c.nonspec, vec![1, 0, 5]);
+    }
+
+    #[test]
+    fn cause_series_merge_extends_shorter_side() {
+        let mut a = CauseSlotRecorder::new(100);
+        a.record(10, AbortCause::Explicit);
+        let mut sa = a.into_series();
+        let mut b = CauseSlotRecorder::new(100);
+        b.record(450, AbortCause::Capacity);
+        sa.merge(&b.into_series());
+        assert_eq!(sa.len(), 5, "merge extends to the longer series");
+        assert_eq!(sa.slots[0].get(AbortCause::Explicit), 1);
+        assert_eq!(sa.slots[4].get(AbortCause::Capacity), 1);
+    }
+
+    mod merge_props {
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Merging raw slot counts is commutative and total: either
+            /// order yields the same per-slot sums, with length equal to
+            /// the longest input vector (nothing truncated).
+            fn slot_series_merge_commutative_and_length_preserving(
+                ac in vec(0u64..1000, 0..10),
+                an in vec(0u64..1000, 0..10),
+                bc in vec(0u64..1000, 0..10),
+                bn in vec(0u64..1000, 0..10),
+            ) {
+                let want_len = ac.len().max(an.len()).max(bc.len()).max(bn.len());
+                let mut ab = raw_series(ac.clone(), an.clone());
+                ab.merge(&raw_series(bc.clone(), bn.clone()));
+                let mut ba = raw_series(bc.clone(), bn);
+                ba.merge(&raw_series(ac.clone(), an));
+                prop_assert_eq!(&ab.completed, &ba.completed);
+                prop_assert_eq!(&ab.nonspec, &ba.nonspec);
+                prop_assert_eq!(ab.completed.len(), want_len);
+                prop_assert_eq!(ab.nonspec.len(), want_len);
+                // Totals are conserved: no count dropped on either side.
+                let total: u64 = ab.completed.iter().sum();
+                let want: u64 = ac.iter().chain(&bc).sum();
+                prop_assert_eq!(total, want);
+            }
+
+            /// Same for the per-slot abort-cause histograms.
+            fn cause_series_merge_commutative_and_length_preserving(
+                a in vec(vec(0usize..6, 0..5), 0..8),
+                b in vec(vec(0usize..6, 0..5), 0..8),
+            ) {
+                let build = |spec: &[Vec<usize>]| {
+                    let mut r = CauseSlotRecorder::new(100);
+                    for (slot, causes) in spec.iter().enumerate() {
+                        for &c in causes {
+                            r.record(slot as u64 * 100, AbortCause::ALL[c]);
+                        }
+                    }
+                    r.into_series()
+                };
+                let mut ab = build(&a);
+                ab.merge(&build(&b));
+                let mut ba = build(&b);
+                ba.merge(&build(&a));
+                prop_assert_eq!(ab.len(), ba.len());
+                prop_assert_eq!(&ab.slots, &ba.slots);
+                prop_assert_eq!(ab.len(), a.len().max(b.len()));
+                prop_assert_eq!(ab.totals().total(), ba.totals().total());
+            }
+        }
     }
 
     #[test]

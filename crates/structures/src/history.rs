@@ -1,0 +1,313 @@
+//! Operation-history recording and sequential reference models.
+//!
+//! The model checker validates concurrent executions of the benchmark
+//! structures against *linearizability*: every completed operation must
+//! appear to take effect atomically at some point between its invocation
+//! and its response. To check that, workload bodies record an [`OpRecord`]
+//! per operation (action, observed response, and invocation/response
+//! timestamps in scheduler decision steps), and the checker replays
+//! candidate orderings against the [`SeqModel`] — a plain sequential
+//! `BTreeMap`/`BTreeSet`/bounded-FIFO reference that defines what each
+//! structure is *supposed* to do.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Which benchmark structure a history exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructureKind {
+    /// [`crate::HashTable`]: a `u64 -> u64` map.
+    HashTable,
+    /// [`crate::SortedList`]: a sorted set of `u64` keys.
+    List,
+    /// [`crate::SimQueue`]: a bounded FIFO of `u64` values.
+    Queue,
+    /// [`crate::RbTree`]: a set of `u64` keys.
+    RbTree,
+}
+
+impl StructureKind {
+    /// Every structure kind, in canonical order.
+    pub const ALL: [StructureKind; 4] = [
+        StructureKind::HashTable,
+        StructureKind::List,
+        StructureKind::Queue,
+        StructureKind::RbTree,
+    ];
+
+    /// Stable lower-case label used in reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            StructureKind::HashTable => "hashtable",
+            StructureKind::List => "list",
+            StructureKind::Queue => "queue",
+            StructureKind::RbTree => "rbtree",
+        }
+    }
+}
+
+impl fmt::Display for StructureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One abstract operation against a structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpAction {
+    /// Map lookup (`HashTable::get`).
+    MapGet(u64),
+    /// Map insert-or-update returning the previous value (`HashTable::put`).
+    MapPut(u64, u64),
+    /// Map removal returning the previous value (`HashTable::remove`).
+    MapRemove(u64),
+    /// Set insert returning whether the key was new (list/rbtree `insert`).
+    SetInsert(u64),
+    /// Set removal returning whether the key was present (`remove`).
+    SetRemove(u64),
+    /// Set membership test (`contains`).
+    SetContains(u64),
+    /// Bounded-FIFO append returning whether it fit (`SimQueue::push`).
+    Push(u64),
+    /// FIFO pop returning the head, if any (`SimQueue::pop`).
+    Pop,
+}
+
+impl fmt::Display for OpAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpAction::MapGet(k) => write!(f, "get({k})"),
+            OpAction::MapPut(k, v) => write!(f, "put({k},{v})"),
+            OpAction::MapRemove(k) => write!(f, "remove({k})"),
+            OpAction::SetInsert(k) => write!(f, "insert({k})"),
+            OpAction::SetRemove(k) => write!(f, "remove({k})"),
+            OpAction::SetContains(k) => write!(f, "contains({k})"),
+            OpAction::Push(v) => write!(f, "push({v})"),
+            OpAction::Pop => write!(f, "pop()"),
+        }
+    }
+}
+
+/// The response an operation observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpResponse {
+    /// A boolean outcome (set ops, queue push).
+    Flag(bool),
+    /// An optional value (map ops, queue pop).
+    Value(Option<u64>),
+}
+
+impl fmt::Display for OpResponse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpResponse::Flag(b) => write!(f, "{b}"),
+            OpResponse::Value(None) => write!(f, "none"),
+            OpResponse::Value(Some(v)) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One completed operation in a concurrent history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Simulated thread that performed the operation.
+    pub tid: usize,
+    /// Per-thread program-order index.
+    pub seq: usize,
+    /// What was asked.
+    pub action: OpAction,
+    /// What was observed.
+    pub response: OpResponse,
+    /// Scheduler decision-step count at invocation.
+    pub invoked: u64,
+    /// Scheduler decision-step count at response.
+    pub responded: u64,
+}
+
+impl fmt::Display for OpRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t{}#{} {} -> {} [{}..{}]",
+            self.tid, self.seq, self.action, self.response, self.invoked, self.responded
+        )
+    }
+}
+
+/// Per-thread history recorder: assigns program-order sequence numbers.
+#[derive(Debug, Clone)]
+pub struct HistoryRecorder {
+    tid: usize,
+    records: Vec<OpRecord>,
+}
+
+impl HistoryRecorder {
+    /// New empty history for simulated thread `tid`.
+    pub fn new(tid: usize) -> Self {
+        HistoryRecorder { tid, records: Vec::new() }
+    }
+
+    /// Record one completed operation; `invoked`/`responded` are scheduler
+    /// decision-step counts taken just before and after the operation.
+    pub fn record(&mut self, action: OpAction, response: OpResponse, invoked: u64, responded: u64) {
+        let seq = self.records.len();
+        self.records.push(OpRecord { tid: self.tid, seq, action, response, invoked, responded });
+    }
+
+    /// The recorded operations, in program order.
+    pub fn into_records(self) -> Vec<OpRecord> {
+        self.records
+    }
+}
+
+/// Sequential reference model the linearizability checker replays against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqModel {
+    /// Reference for [`StructureKind::HashTable`].
+    Map(BTreeMap<u64, u64>),
+    /// Reference for [`StructureKind::List`] and [`StructureKind::RbTree`].
+    Set(BTreeSet<u64>),
+    /// Reference for [`StructureKind::Queue`] with its capacity bound.
+    Fifo {
+        /// Current queue contents, head first.
+        items: VecDeque<u64>,
+        /// Maximum number of elements (`push` returns `false` beyond it).
+        cap: usize,
+    },
+}
+
+impl SeqModel {
+    /// Empty model for `kind`. `queue_capacity` is only consulted for the
+    /// queue (it bounds when `push` must report `false`).
+    pub fn for_kind(kind: StructureKind, queue_capacity: usize) -> Self {
+        match kind {
+            StructureKind::HashTable => SeqModel::Map(BTreeMap::new()),
+            StructureKind::List | StructureKind::RbTree => SeqModel::Set(BTreeSet::new()),
+            StructureKind::Queue => SeqModel::Fifo { items: VecDeque::new(), cap: queue_capacity },
+        }
+    }
+
+    /// Apply `action` sequentially and return the model's response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` does not belong to this model's structure (a
+    /// malformed history, which is a harness bug rather than a finding).
+    pub fn apply(&mut self, action: OpAction) -> OpResponse {
+        match (self, action) {
+            (SeqModel::Map(m), OpAction::MapGet(k)) => OpResponse::Value(m.get(&k).copied()),
+            (SeqModel::Map(m), OpAction::MapPut(k, v)) => OpResponse::Value(m.insert(k, v)),
+            (SeqModel::Map(m), OpAction::MapRemove(k)) => OpResponse::Value(m.remove(&k)),
+            (SeqModel::Set(s), OpAction::SetInsert(k)) => OpResponse::Flag(s.insert(k)),
+            (SeqModel::Set(s), OpAction::SetRemove(k)) => OpResponse::Flag(s.remove(&k)),
+            (SeqModel::Set(s), OpAction::SetContains(k)) => OpResponse::Flag(s.contains(&k)),
+            (SeqModel::Fifo { items, cap }, OpAction::Push(v)) => {
+                if items.len() < *cap {
+                    items.push_back(v);
+                    OpResponse::Flag(true)
+                } else {
+                    OpResponse::Flag(false)
+                }
+            }
+            (SeqModel::Fifo { items, .. }, OpAction::Pop) => OpResponse::Value(items.pop_front()),
+            (model, action) => panic!("action {action} does not fit model {model:?}"),
+        }
+    }
+
+    /// Deterministic digest of the model state (FNV-1a), used by the
+    /// linearizability search to memoize visited `(ops-done, state)`
+    /// configurations.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        match self {
+            SeqModel::Map(m) => {
+                eat(1);
+                for (&k, &v) in m {
+                    eat(k);
+                    eat(v);
+                }
+            }
+            SeqModel::Set(s) => {
+                eat(2);
+                for &k in s {
+                    eat(k);
+                }
+            }
+            SeqModel::Fifo { items, cap } => {
+                eat(3);
+                eat(*cap as u64);
+                for &v in items {
+                    eat(v);
+                }
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_model_reports_previous_values() {
+        let mut m = SeqModel::for_kind(StructureKind::HashTable, 0);
+        assert_eq!(m.apply(OpAction::MapGet(1)), OpResponse::Value(None));
+        assert_eq!(m.apply(OpAction::MapPut(1, 10)), OpResponse::Value(None));
+        assert_eq!(m.apply(OpAction::MapPut(1, 20)), OpResponse::Value(Some(10)));
+        assert_eq!(m.apply(OpAction::MapRemove(1)), OpResponse::Value(Some(20)));
+        assert_eq!(m.apply(OpAction::MapRemove(1)), OpResponse::Value(None));
+    }
+
+    #[test]
+    fn set_model_tracks_membership() {
+        let mut m = SeqModel::for_kind(StructureKind::RbTree, 0);
+        assert_eq!(m.apply(OpAction::SetInsert(5)), OpResponse::Flag(true));
+        assert_eq!(m.apply(OpAction::SetInsert(5)), OpResponse::Flag(false));
+        assert_eq!(m.apply(OpAction::SetContains(5)), OpResponse::Flag(true));
+        assert_eq!(m.apply(OpAction::SetRemove(5)), OpResponse::Flag(true));
+        assert_eq!(m.apply(OpAction::SetContains(5)), OpResponse::Flag(false));
+    }
+
+    #[test]
+    fn fifo_model_respects_capacity_and_order() {
+        let mut m = SeqModel::for_kind(StructureKind::Queue, 2);
+        assert_eq!(m.apply(OpAction::Push(1)), OpResponse::Flag(true));
+        assert_eq!(m.apply(OpAction::Push(2)), OpResponse::Flag(true));
+        assert_eq!(m.apply(OpAction::Push(3)), OpResponse::Flag(false));
+        assert_eq!(m.apply(OpAction::Pop), OpResponse::Value(Some(1)));
+        assert_eq!(m.apply(OpAction::Pop), OpResponse::Value(Some(2)));
+        assert_eq!(m.apply(OpAction::Pop), OpResponse::Value(None));
+    }
+
+    #[test]
+    fn digest_distinguishes_states_and_is_stable() {
+        let mut a = SeqModel::for_kind(StructureKind::List, 0);
+        let mut b = SeqModel::for_kind(StructureKind::List, 0);
+        assert_eq!(a.digest(), b.digest());
+        a.apply(OpAction::SetInsert(7));
+        assert_ne!(a.digest(), b.digest());
+        b.apply(OpAction::SetInsert(7));
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn recorder_assigns_program_order() {
+        let mut r = HistoryRecorder::new(3);
+        r.record(OpAction::Push(1), OpResponse::Flag(true), 0, 2);
+        r.record(OpAction::Pop, OpResponse::Value(Some(1)), 2, 5);
+        let ops = r.into_records();
+        assert_eq!(ops.len(), 2);
+        assert_eq!((ops[0].tid, ops[0].seq), (3, 0));
+        assert_eq!((ops[1].tid, ops[1].seq), (3, 1));
+        assert_eq!(format!("{}", ops[1]), "t3#1 pop() -> 1 [2..5]");
+    }
+}

@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 
 mod hashtable;
+pub mod history;
 mod list;
 mod queue;
 mod rbtree;
 mod workload;
 
 pub use hashtable::HashTable;
+pub use history::{HistoryRecorder, OpAction, OpRecord, OpResponse, SeqModel, StructureKind};
 pub use list::SortedList;
 pub use queue::SimQueue;
 pub use rbtree::RbTree;

@@ -5,7 +5,7 @@
 
 use elision_core::{make_scheme, LockKind, SchemeConfig, SchemeKind};
 use elision_htm::{harness, HtmConfig, MemoryBuilder};
-use elision_structures::{HashTable, RbTree, SimQueue};
+use elision_structures::{HashTable, OpAction, OpResponse, RbTree, SimQueue, SortedList};
 use std::sync::Arc;
 
 const SCHEMES: [SchemeKind; 6] = [
@@ -128,6 +128,119 @@ fn mixed_structures_under_tight_capacity() {
     let tight = HtmConfig::deterministic().with_capacity(256, 12);
     for scheme in [SchemeKind::Hle, SchemeKind::OptSlr, SchemeKind::SlrScm] {
         mixed_structures_run(scheme, LockKind::Ttas, 0, tight);
+    }
+}
+
+/// The per-thread op histories plus the sorted final contents of every
+/// structure after a deterministic window-0 run of one scheme × lock
+/// cell.
+type DifferentialState = (Vec<Vec<(OpAction, OpResponse)>>, Vec<(u64, u64)>, Vec<u64>, Vec<u64>);
+
+/// Run the differential workload on one cell. Per-thread key ranges are
+/// disjoint (plus a shared never-written probe key), so each operation's
+/// response and the final structure contents are independent of how the
+/// threads interleave: any divergence from the TTAS baseline is a scheme
+/// bug (lost update, duplicated insert, stale speculative read), never a
+/// legitimate reordering.
+fn differential_cell(scheme_kind: SchemeKind, lock: LockKind) -> DifferentialState {
+    let threads = 4;
+    let sections = 24usize;
+    let mut b = MemoryBuilder::new();
+    let table = HashTable::new(&mut b, 16, 512, threads);
+    let list = SortedList::new(&mut b, 512, threads);
+    let tree = RbTree::new(&mut b, 512, threads);
+    let scheme = make_scheme(scheme_kind, lock, SchemeConfig::paper(), &mut b, threads);
+    let mem = Arc::new(b.freeze(threads));
+    table.init(&mem);
+    list.init(&mem);
+    tree.init(&mem);
+
+    let (tab, li, tr) = (table.clone(), list.clone(), tree.clone());
+    let (hists, _) =
+        harness::run_arc(threads, 0, HtmConfig::deterministic(), 9, Arc::clone(&mem), move |s| {
+            let tid = s.tid() as u64;
+            let mut hist = Vec::with_capacity(sections);
+            for k in 0..sections {
+                let k64 = k as u64;
+                // Cycle over five private keys so puts, gets and removes
+                // observe this thread's own earlier writes.
+                let key = 1 + tid * 1_000 + k64 % 5;
+                let (action, response) = match k % 7 {
+                    0 => (
+                        OpAction::MapPut(key, tid * 100 + k64),
+                        OpResponse::Value(
+                            scheme.execute(s, |s| tab.put(s, key, tid * 100 + k64)).value,
+                        ),
+                    ),
+                    1 => (
+                        OpAction::MapGet(key),
+                        OpResponse::Value(scheme.execute(s, |s| tab.get(s, key)).value),
+                    ),
+                    2 => (
+                        OpAction::SetInsert(key),
+                        OpResponse::Flag(scheme.execute(s, |s| li.insert(s, key)).value),
+                    ),
+                    3 => (
+                        OpAction::SetInsert(key),
+                        OpResponse::Flag(scheme.execute(s, |s| tr.insert(s, key)).value),
+                    ),
+                    4 => (
+                        OpAction::MapRemove(key),
+                        OpResponse::Value(scheme.execute(s, |s| tab.remove(s, key)).value),
+                    ),
+                    5 => (
+                        OpAction::SetContains(key),
+                        OpResponse::Flag(scheme.execute(s, |s| tr.contains(s, key)).value),
+                    ),
+                    // A key no thread ever writes: contends on shared
+                    // bucket lines yet always answers `None`.
+                    _ => (
+                        OpAction::MapGet(7_777),
+                        OpResponse::Value(scheme.execute(s, |s| tab.get(s, 7_777)).value),
+                    ),
+                };
+                hist.push((action, response));
+            }
+            hist
+        });
+    let mut final_table = table.collect(&mem);
+    final_table.sort_unstable();
+    (hists, final_table, list.collect(&mem), tree.collect(&mem))
+}
+
+/// Differential check: at window 0, every scheme × lock cell must
+/// produce exactly the op-result history and final structure state of
+/// the Standard/TTAS baseline.
+#[test]
+fn every_cell_matches_the_ttas_baseline() {
+    let baseline = differential_cell(SchemeKind::Standard, LockKind::Ttas);
+    assert!(
+        baseline.0.iter().all(|h| h.len() == 24) && !baseline.1.is_empty(),
+        "baseline produced a trivial history; the differential would be vacuous"
+    );
+    for scheme in SCHEMES {
+        for lock in LOCKS {
+            if scheme == SchemeKind::Standard && lock == LockKind::Ttas {
+                continue;
+            }
+            let got = differential_cell(scheme, lock);
+            assert_eq!(
+                got.0, baseline.0,
+                "{scheme}/{lock}: op-result history diverged from Standard/TTAS"
+            );
+            assert_eq!(
+                got.1, baseline.1,
+                "{scheme}/{lock}: final hashtable state diverged from Standard/TTAS"
+            );
+            assert_eq!(
+                got.2, baseline.2,
+                "{scheme}/{lock}: final list state diverged from Standard/TTAS"
+            );
+            assert_eq!(
+                got.3, baseline.3,
+                "{scheme}/{lock}: final rbtree state diverged from Standard/TTAS"
+            );
+        }
     }
 }
 
