@@ -455,6 +455,36 @@ mod tests {
         assert!(Scheme::new(SchemeKind::Hle, SchemeConfig::paper(), main, None).is_ok());
     }
 
+    #[test]
+    fn out_of_range_breaker_config_is_a_typed_error() {
+        let mut b = MemoryBuilder::new();
+        let main = make_lock(LockKind::Ttas, &mut b, 2);
+        // trip_permille above 1000 can never trip: the window's abort
+        // fraction is at most 1000 permille.
+        let mut cfg = SchemeConfig::hardened();
+        cfg.breaker =
+            Some(BreakerConfig { trip_permille: 1001, ..BreakerConfig::default_policy() });
+        let err = Scheme::new(SchemeKind::Hle, cfg, Arc::clone(&main), None)
+            .expect_err("untrippable breaker threshold must be rejected");
+        assert_eq!(err, SchemeError::InvalidConfig { knob: "breaker.trip_permille", value: 1001 });
+        assert!(err.to_string().contains("trip_permille"), "useful message: {err}");
+
+        let mut cfg = SchemeConfig::hardened();
+        cfg.breaker = Some(BreakerConfig { window_attempts: 0, ..BreakerConfig::default_policy() });
+        let err = Scheme::new_grouped(cfg, Arc::clone(&main), vec![Arc::clone(&main)])
+            .expect_err("empty breaker window must be rejected");
+        assert_eq!(err, SchemeError::InvalidConfig { knob: "breaker.window_attempts", value: 0 });
+
+        // The boundary (trip at exactly 1000 permille = only when every
+        // attempt aborted) and the presets are valid.
+        let mut cfg = SchemeConfig::hardened();
+        cfg.breaker =
+            Some(BreakerConfig { trip_permille: 1000, ..BreakerConfig::default_policy() });
+        assert!(Scheme::new(SchemeKind::Hle, cfg, Arc::clone(&main), None).is_ok());
+        assert_eq!(SchemeConfig::paper().validate(), Ok(()));
+        assert_eq!(SchemeConfig::hardened().validate(), Ok(()));
+    }
+
     /// Like `counter_stress` but with an arbitrary scheme config and HTM
     /// fault injection; returns (counter value, summed counters, scheme).
     fn chaos_counter_stress(

@@ -40,6 +40,14 @@ pub enum SchemeError {
     MissingAuxLock(SchemeKind),
     /// Grouped SCM was constructed with an empty auxiliary-lock vector.
     NoAuxLocks,
+    /// A [`SchemeConfig`] knob is out of its domain (see
+    /// [`SchemeConfig::validate`]).
+    InvalidConfig {
+        /// Which knob (e.g. `"breaker.trip_permille"`).
+        knob: &'static str,
+        /// The offending value.
+        value: u64,
+    },
 }
 
 impl fmt::Display for SchemeError {
@@ -49,6 +57,9 @@ impl fmt::Display for SchemeError {
                 write!(f, "{kind} requires an auxiliary lock")
             }
             SchemeError::NoAuxLocks => f.write_str("grouped SCM needs at least one auxiliary lock"),
+            SchemeError::InvalidConfig { knob, value } => {
+                write!(f, "scheme config: {knob} = {value} is out of range")
+            }
         }
     }
 }
@@ -238,6 +249,33 @@ impl SchemeConfig {
         SchemeConfig { sanitize: true, ..Self::paper() }
     }
 
+    /// Check every knob against its domain: the breaker's trip threshold
+    /// is a permille (≤ 1000) and its window must hold at least one
+    /// attempt. A `trip_permille` above 1000 previously slipped through
+    /// and made the breaker untrippable (the abort fraction can never
+    /// cross it), silently disabling the hardening it was meant to tune.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::InvalidConfig`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), SchemeError> {
+        if let Some(b) = &self.breaker {
+            if b.trip_permille > 1000 {
+                return Err(SchemeError::InvalidConfig {
+                    knob: "breaker.trip_permille",
+                    value: u64::from(b.trip_permille),
+                });
+            }
+            if b.window_attempts == 0 {
+                return Err(SchemeError::InvalidConfig {
+                    knob: "breaker.window_attempts",
+                    value: 0,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// The hardened configuration: the paper's settings plus bounded
     /// exponential backoff with jitter, capacity-abort fast-pathing, and
     /// the speculation circuit breaker. This is what the chaos harness
@@ -377,6 +415,7 @@ impl Scheme {
         main: Arc<dyn RawLock>,
         aux: Option<Arc<dyn RawLock>>,
     ) -> Result<Self, SchemeError> {
+        cfg.validate()?;
         if kind.uses_aux() && aux.is_none() {
             return Err(SchemeError::MissingAuxLock(kind));
         }
@@ -406,6 +445,7 @@ impl Scheme {
         main: Arc<dyn RawLock>,
         aux: Vec<Arc<dyn RawLock>>,
     ) -> Result<Self, SchemeError> {
+        cfg.validate()?;
         if aux.is_empty() {
             return Err(SchemeError::NoAuxLocks);
         }

@@ -57,12 +57,13 @@
 mod abort;
 mod config;
 mod fault;
+mod lineset;
 mod memory;
 mod sanitize;
 mod strand;
 
 pub use abort::{codes, Abort, AbortReason, AbortStatus, TxResult, TxnStats};
-pub use config::HtmConfig;
+pub use config::{HtmConfig, HtmConfigError};
 pub use fault::{AbortStorm, CapacitySqueeze, HotLine, HtmFaults};
 pub use memory::{LineId, Memory, MemoryBuilder, VarId};
 pub use sanitize::{SanAccess, SanEvent, SanLog};
@@ -132,6 +133,9 @@ pub mod harness {
         R: Send + 'static,
         F: Fn(&mut Strand) -> R + Clone + Send + Sync + 'static,
     {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid HtmConfig: {e}");
+        }
         let out = SimBuilder::new(threads).window(window).faults(plan).run(move |ctx| {
             let mut strand = Strand::new(Arc::clone(&mem), ctx.handle, cfg, seed);
             body(&mut strand)
@@ -155,6 +159,9 @@ pub mod harness {
         R: Send + 'static,
         F: Fn(&mut Strand) -> R + Clone + Send + Sync + 'static,
     {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid HtmConfig: {e}");
+        }
         let out = SimBuilder::new(threads).control(control).run(move |ctx| {
             let mut strand = Strand::new(Arc::clone(&mem), ctx.handle, cfg, seed);
             body(&mut strand)
@@ -172,6 +179,16 @@ mod tests {
         let mut b = MemoryBuilder::new();
         let v = b.alloc_isolated(init);
         (b.freeze(threads), v)
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid HtmConfig")]
+    fn harness_rejects_out_of_range_config() {
+        let (mem, _) = one_var_mem(1, 0);
+        // 1500 permille storm: would silently mean "always abort".
+        let cfg =
+            HtmConfig::deterministic().with_faults(HtmFaults::none().with_storm(100, 10, 1500));
+        harness::run(1, 0, cfg, 1, mem, |_| ());
     }
 
     #[test]

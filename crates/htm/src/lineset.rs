@@ -1,0 +1,164 @@
+//! Capacity-bounded transaction-set containers.
+//!
+//! Real HTMs track read/write sets in fixed hardware structures (L1
+//! lines, a bounded store buffer), so a simulated transaction's sets are
+//! *small* — bounded by `read_set_lines`/`write_set_lines`, typically a
+//! handful of entries for tree operations. At that size a sorted inline
+//! vector beats a `HashSet`/`HashMap` on every axis that matters here:
+//! one binary search per probe instead of hashing, no per-attempt heap
+//! churn (the backing storage is reused across attempts via the strand's
+//! scratch arena), and — crucially for artifact determinism — iteration
+//! is always in ascending order, which the commit path previously had to
+//! recreate by collecting and sorting the hash containers.
+//!
+//! Both containers are pinned to the semantics of the `HashSet<u32>` /
+//! `HashMap<VarId, u64>` they replaced by differential proptests below.
+
+use crate::memory::VarId;
+
+/// A transaction's read- or write-set: a sorted vector of line ids.
+///
+/// Capacity is allocated once (at the configured set budget) and reused;
+/// the strand's budget check keeps `len()` within it, so inserts never
+/// reallocate on the hot path.
+#[derive(Debug)]
+pub(crate) struct LineSet {
+    lines: Vec<u32>,
+}
+
+impl LineSet {
+    pub fn with_capacity(cap: usize) -> Self {
+        LineSet { lines: Vec::with_capacity(cap) }
+    }
+
+    /// One binary search serving both the membership test and the insert:
+    /// `Ok(idx)` when `line` is already tracked, `Err(pos)` with the
+    /// insertion position otherwise (hand `pos` to [`LineSet::insert_at`]
+    /// after the budget/fault checks pass).
+    pub fn probe(&self, line: u32) -> Result<usize, usize> {
+        self.lines.binary_search(&line)
+    }
+
+    /// Insert `line` at the position a [`LineSet::probe`] miss returned.
+    pub fn insert_at(&mut self, pos: usize, line: u32) {
+        debug_assert!(self.probe(line) == Err(pos), "stale insertion position");
+        self.lines.insert(pos, line);
+    }
+
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// The tracked lines in ascending order.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.lines
+    }
+
+    /// Drop all entries, keeping the allocation for the next attempt.
+    pub fn clear(&mut self) {
+        self.lines.clear();
+    }
+}
+
+/// The speculative write buffer: `(var, value)` pairs sorted by variable
+/// index, so commit publishes in `VarId` order by plain iteration.
+#[derive(Debug, Default)]
+pub(crate) struct WriteBuf {
+    entries: Vec<(VarId, u64)>,
+}
+
+impl WriteBuf {
+    fn probe(&self, var: VarId) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&var.index(), |&(v, _)| v.index())
+    }
+
+    pub fn get(&self, var: VarId) -> Option<u64> {
+        self.probe(var).ok().map(|i| self.entries[i].1)
+    }
+
+    /// Insert or overwrite the buffered value for `var`.
+    pub fn insert(&mut self, var: VarId, value: u64) {
+        match self.probe(var) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (var, value)),
+        }
+    }
+
+    /// Drop the entry for `var` (used to discard elided illusions before
+    /// publication), returning the removed value.
+    pub fn remove(&mut self, var: VarId) -> Option<u64> {
+        self.probe(var).ok().map(|i| self.entries.remove(i).1)
+    }
+
+    /// Buffered writes in ascending `VarId` order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Drop all entries, keeping the allocation for the next attempt.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::{HashMap, HashSet};
+
+    // Differential proptests: random operation sequences against the
+    // HashSet/HashMap models the containers replaced. Line ids are drawn
+    // from a small domain so sequences collide often.
+
+    proptest! {
+        #[test]
+        fn line_set_matches_hash_set_model(ops in proptest::collection::vec(0u32..32, 0..64)) {
+            let mut ls = LineSet::with_capacity(8);
+            let mut model: HashSet<u32> = HashSet::new();
+            for line in ops {
+                match ls.probe(line) {
+                    Ok(_) => prop_assert!(model.contains(&line)),
+                    Err(pos) => {
+                        prop_assert!(!model.contains(&line));
+                        ls.insert_at(pos, line);
+                        model.insert(line);
+                    }
+                }
+                prop_assert_eq!(ls.len(), model.len());
+            }
+            // Iteration is the model's contents in ascending order.
+            let mut want: Vec<u32> = model.into_iter().collect();
+            want.sort_unstable();
+            prop_assert_eq!(ls.as_slice(), want.as_slice());
+            ls.clear();
+            prop_assert_eq!(ls.len(), 0);
+        }
+
+        #[test]
+        fn write_buf_matches_hash_map_model(
+            ops in proptest::collection::vec((0u32..24, 0u64..1000, any::<bool>()), 0..64)
+        ) {
+            let mut wb = WriteBuf::default();
+            let mut model: HashMap<VarId, u64> = HashMap::new();
+            for (raw, val, is_remove) in ops {
+                let var = VarId(raw);
+                if is_remove {
+                    prop_assert_eq!(wb.remove(var), model.remove(&var));
+                } else {
+                    prop_assert_eq!(wb.get(var), model.get(&var).copied());
+                    wb.insert(var, val);
+                    model.insert(var, val);
+                }
+                prop_assert_eq!(wb.get(var), model.get(&var).copied());
+            }
+            // Iteration is the model's entries in ascending VarId order —
+            // exactly what commit's publication loop previously obtained
+            // by collecting the HashMap and sorting.
+            let mut want: Vec<(VarId, u64)> = model.into_iter().collect();
+            want.sort_unstable_by_key(|&(var, _)| var.index());
+            let got: Vec<(VarId, u64)> = wb.iter().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

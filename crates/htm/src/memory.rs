@@ -216,6 +216,7 @@ impl MemoryBuilder {
             epochs: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             engine: Mutex::new(()),
             words_per_line: wpl,
+            line_shift: if wpl.is_power_of_two() { Some(wpl.trailing_zeros()) } else { None },
             san,
         }
     }
@@ -240,6 +241,10 @@ pub struct Memory {
     /// a lock acquisition and a transaction commit are totally ordered.
     engine: Mutex<()>,
     words_per_line: usize,
+    /// `log2(words_per_line)` when the width is a power of two (it is for
+    /// every preset), turning the per-access `line_of` division into a
+    /// shift on the hot path.
+    line_shift: Option<u32>,
     /// The sanitizer event log, if enabled at build time.
     san: Option<SanLog>,
 }
@@ -270,7 +275,10 @@ impl Memory {
     /// The cache line containing `var`.
     pub fn line_of(&self, var: VarId) -> LineId {
         debug_assert!(var != VarId::NULL, "dereferencing NULL");
-        LineId(var.0 / self.words_per_line as u32)
+        match self.line_shift {
+            Some(s) => LineId(var.0 >> s),
+            None => LineId(var.0 / self.words_per_line as u32),
+        }
     }
 
     /// Whether the raw line index holds a lock word (see
@@ -431,6 +439,17 @@ mod tests {
         assert_eq!(m.line_of(a), LineId(0));
         assert_eq!(m.line_of(c), LineId(1));
         assert_eq!(m.line_count(), 2);
+    }
+
+    #[test]
+    fn non_power_of_two_line_width_falls_back_to_division() {
+        let mut b = MemoryBuilder::new().words_per_line(3);
+        let a = b.alloc(0);
+        let _ = b.alloc_array(3, 0);
+        let m = b.freeze(1);
+        assert_eq!(m.line_of(a), LineId(0));
+        assert_eq!(m.line_of(VarId(2)), LineId(0));
+        assert_eq!(m.line_of(VarId(3)), LineId(1));
     }
 
     #[test]

@@ -12,22 +12,27 @@
 
 use crate::abort::{codes, Abort, AbortStatus, TxResult, TxnStats};
 use crate::config::HtmConfig;
+use crate::lineset::{LineSet, WriteBuf};
 use crate::memory::{LineId, Memory, VarId};
 use crate::sanitize::SanAccess;
 use elision_sim::{
     AbortCause, CauseSlotRecorder, DetRng, OpCounters, SimHandle, TraceEvent, TraceRing,
 };
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// State of one in-flight transaction.
+///
+/// The containers are capacity-bounded sorted vectors (see
+/// [`crate::lineset`]) sized by the configured set budgets; the whole
+/// descriptor is stashed as scratch on commit/abort and reused by the
+/// next `begin()`, so attempts allocate nothing in steady state.
 #[derive(Debug)]
 struct Txn {
     epoch: u64,
-    read_lines: HashSet<u32>,
-    write_lines: HashSet<u32>,
+    read_lines: LineSet,
+    write_lines: LineSet,
     /// Speculative write buffer: values invisible to peers until commit.
-    wbuf: HashMap<VarId, u64>,
+    wbuf: WriteBuf,
     /// Elided (XACQUIRE'd) variables: their buffered value is a local
     /// illusion, never published, and must be restored by commit time.
     elided: Vec<(VarId, u64)>,
@@ -55,6 +60,10 @@ pub struct Strand {
     tid: usize,
     cfg: HtmConfig,
     txn: Option<Txn>,
+    /// Scratch arena: the previous attempt's (cleared) transaction
+    /// descriptor, reused by the next `begin()` so the per-attempt cost is
+    /// four `clear()`s instead of four allocations.
+    spare: Option<Txn>,
     last_abort: AbortStatus,
     htm_rng: DetRng,
     /// Deterministic RNG stream for workload decisions (key choices,
@@ -95,6 +104,7 @@ impl Strand {
             tid,
             cfg,
             txn: None,
+            spare: None,
             last_abort: AbortStatus::conflict(),
             htm_rng: DetRng::new(seed, 1_000_000 + tid as u64),
             rng: DetRng::new(seed, tid as u64),
@@ -234,14 +244,29 @@ impl Strand {
         self.stats.begins += 1;
         self.trace_event(TraceEvent::TxnBegin);
         self.san(SanAccess::TxnBegin);
-        self.txn = Some(Txn {
-            epoch,
-            read_lines: HashSet::new(),
-            write_lines: HashSet::new(),
-            wbuf: HashMap::new(),
+        // Reuse the scratch descriptor (its containers were cleared when
+        // stashed); the first attempt of a strand's life allocates it.
+        let mut txn = self.spare.take().unwrap_or_else(|| Txn {
+            epoch: 0,
+            read_lines: LineSet::with_capacity(self.cfg.read_set_lines),
+            write_lines: LineSet::with_capacity(self.cfg.write_set_lines),
+            wbuf: WriteBuf::default(),
             elided: Vec::new(),
-            spurious_fuse,
+            spurious_fuse: None,
         });
+        txn.epoch = epoch;
+        txn.spurious_fuse = spurious_fuse;
+        self.txn = Some(txn);
+    }
+
+    /// Return a finished transaction descriptor to the scratch arena,
+    /// clearing its containers but keeping their allocations.
+    fn stash(&mut self, mut txn: Txn) {
+        txn.read_lines.clear();
+        txn.write_lines.clear();
+        txn.wbuf.clear();
+        txn.elided.clear();
+        self.spare = Some(txn);
     }
 
     /// Commit the active transaction (`XEND`), publishing buffered writes.
@@ -262,17 +287,14 @@ impl Strand {
             // Model-checker footprint: the commit outcome depends on the
             // doom flag, which a peer write to *any* read- or write-set
             // line flips, and publication writes every write-set line —
-            // so the whole sets are part of this step's footprint. Sorted
-            // because HashSet iteration order is nondeterministic.
+            // so the whole sets are part of this step's footprint. Line
+            // sets iterate in ascending order, matching the sort the old
+            // hash containers needed here.
             let txn = self.txn.as_ref().expect("checked above");
-            let mut reads: Vec<u32> = txn.read_lines.iter().copied().collect();
-            reads.sort_unstable();
-            let mut writes: Vec<u32> = txn.write_lines.iter().copied().collect();
-            writes.sort_unstable();
-            for l in reads {
+            for &l in txn.read_lines.as_slice() {
                 self.sim.note_access(l, false);
             }
-            for l in writes {
+            for &l in txn.write_lines.as_slice() {
                 self.sim.note_access(l, true);
             }
         }
@@ -283,7 +305,7 @@ impl Strand {
         // to its pre-acquire value, else the hardware cannot elide.
         let restore_ok = {
             let txn = self.txn.as_ref().expect("checked above");
-            txn.elided.iter().all(|&(var, original)| txn.wbuf.get(&var) == Some(&original))
+            txn.elided.iter().all(|&(var, original)| txn.wbuf.get(var) == Some(original))
         };
         if !restore_ok {
             self.unwind(AbortStatus::hle_restore());
@@ -292,9 +314,9 @@ impl Strand {
         // Elided values are an illusion: drop them instead of publishing.
         {
             let txn = self.txn.as_mut().expect("checked above");
-            let elided: Vec<VarId> = txn.elided.iter().map(|&(v, _)| v).collect();
-            for v in elided {
-                txn.wbuf.remove(&v);
+            for i in 0..txn.elided.len() {
+                let var = txn.elided[i].0;
+                txn.wbuf.remove(var);
             }
         }
         // Publication must be ordered against non-transactional writes and
@@ -307,14 +329,11 @@ impl Strand {
             if self.mem.is_doomed(self.tid, txn.epoch) {
                 true
             } else {
-                // Publish in VarId order: the write buffer is a HashMap,
-                // and iterating it directly would make the peer-dooming
+                // Publication happens in VarId order — the write buffer is
+                // sorted by variable index — keeping the peer-dooming
                 // order (hence the best-effort conflict-line attribution)
-                // and the sanitizer log order nondeterministic.
-                let mut writes: Vec<(VarId, u64)> =
-                    txn.wbuf.iter().map(|(&var, &val)| (var, val)).collect();
-                writes.sort_unstable_by_key(|&(var, _)| var.index());
-                for (var, val) in writes {
+                // and the sanitizer log order deterministic.
+                for (var, val) in txn.wbuf.iter() {
                     self.mem.raw_store(var, val);
                     let line = self.mem.line_of(var);
                     let peers = self.mem.readers_of(line) | self.mem.writers_of(line);
@@ -333,12 +352,13 @@ impl Strand {
         // then clear the conflict bitmaps.
         self.mem.end_epoch(self.tid);
         let txn = self.txn.take().expect("checked above");
-        for &l in &txn.read_lines {
+        for &l in txn.read_lines.as_slice() {
             self.mem.clear_reader(LineId(l), self.tid);
         }
-        for &l in &txn.write_lines {
+        for &l in txn.write_lines.as_slice() {
             self.mem.clear_writer(LineId(l), self.tid);
         }
+        self.stash(txn);
         self.stats.commits += 1;
         self.trace_event(TraceEvent::TxnCommit);
         Ok(())
@@ -393,12 +413,13 @@ impl Strand {
     fn unwind(&mut self, status: AbortStatus) {
         let txn = self.txn.take().expect("unwind without a transaction");
         self.mem.end_epoch(self.tid);
-        for &l in &txn.read_lines {
+        for &l in txn.read_lines.as_slice() {
             self.mem.clear_reader(LineId(l), self.tid);
         }
-        for &l in &txn.write_lines {
+        for &l in txn.write_lines.as_slice() {
             self.mem.clear_writer(LineId(l), self.tid);
         }
+        self.stash(txn);
         self.stats.count_abort(status.reason);
         let cause = self.classify_abort(&status);
         self.counters.causes.record(cause);
@@ -499,13 +520,16 @@ impl Strand {
 
     /// Register `line` in the read set (requestor wins: dooms speculative
     /// writers). Unwinds with a capacity abort when the read set is full.
+    ///
+    /// One [`LineSet::probe`] serves both the membership test and the
+    /// insert position (previously `contains` + `insert` hashed the line
+    /// twice); the budget — a config constant per attempt, unless a
+    /// capacity-squeeze fault is configured, whose window must be sampled
+    /// at access time — is only resolved on first touch.
     fn track_read(&mut self, line: LineId) -> TxResult<()> {
-        let budget = self.read_budget();
         let txn = self.txn.as_ref().expect("track_read outside txn");
-        if txn.read_lines.contains(&line.0) {
-            return Ok(());
-        }
-        if txn.read_lines.len() >= budget {
+        let Err(pos) = txn.read_lines.probe(line.0) else { return Ok(()) };
+        if txn.read_lines.len() >= self.read_budget() {
             self.unwind(AbortStatus::capacity());
             return Err(Abort);
         }
@@ -513,8 +537,7 @@ impl Strand {
             self.unwind(AbortStatus::conflict_at(line.0));
             return Err(Abort);
         }
-        let txn = self.txn.as_mut().expect("track_read outside txn");
-        txn.read_lines.insert(line.0);
+        self.txn.as_mut().expect("in txn").read_lines.insert_at(pos, line.0);
         self.mem.set_reader(line, self.tid);
         let writers = self.mem.writers_of(line);
         self.mem.doom_bitmap(writers, self.tid, line);
@@ -523,13 +546,11 @@ impl Strand {
 
     /// Register `line` in the write set (dooming peer readers *and*
     /// writers). Unwinds with a capacity abort when the write set is full.
+    /// Structured like [`Strand::track_read`].
     fn track_write(&mut self, line: LineId) -> TxResult<()> {
-        let budget = self.write_budget();
         let txn = self.txn.as_ref().expect("track_write outside txn");
-        if txn.write_lines.contains(&line.0) {
-            return Ok(());
-        }
-        if txn.write_lines.len() >= budget {
+        let Err(pos) = txn.write_lines.probe(line.0) else { return Ok(()) };
+        if txn.write_lines.len() >= self.write_budget() {
             self.unwind(AbortStatus::capacity());
             return Err(Abort);
         }
@@ -537,8 +558,7 @@ impl Strand {
             self.unwind(AbortStatus::conflict_at(line.0));
             return Err(Abort);
         }
-        let txn = self.txn.as_mut().expect("track_write outside txn");
-        txn.write_lines.insert(line.0);
+        self.txn.as_mut().expect("in txn").write_lines.insert_at(pos, line.0);
         self.mem.set_writer(line, self.tid);
         let peers = self.mem.readers_of(line) | self.mem.writers_of(line);
         self.mem.doom_bitmap(peers, self.tid, line);
@@ -555,7 +575,7 @@ impl Strand {
         self.sim.advance(self.cfg.cost.load);
         if self.txn.is_some() {
             self.health_check()?;
-            if let Some(&v) = self.txn.as_ref().expect("in txn").wbuf.get(&var) {
+            if let Some(v) = self.txn.as_ref().expect("in txn").wbuf.get(var) {
                 return Ok(v);
             }
             let line = self.mem.line_of(var);
@@ -626,7 +646,7 @@ impl Strand {
             self.health_check()?;
             let (elided, buffered) = {
                 let txn = self.txn.as_ref().expect("in txn");
-                (txn.is_elided(var), txn.wbuf.get(&var).copied())
+                (txn.is_elided(var), txn.wbuf.get(var))
             };
             let old = match buffered {
                 Some(v) => v,
@@ -712,7 +732,7 @@ impl Strand {
         assert!(self.txn.is_some(), "elide_rmw outside a transaction");
         self.sim.advance(self.cfg.cost.rmw);
         self.health_check()?;
-        let buffered = self.txn.as_ref().expect("in txn").wbuf.get(&var).copied();
+        let buffered = self.txn.as_ref().expect("in txn").wbuf.get(var);
         let old = match buffered {
             Some(v) => v,
             None => {

@@ -10,19 +10,36 @@
 //!
 //! With `window == 0` the rule tightens to "only the lexicographically
 //! smallest `(clock, id)` runs", which yields a fully deterministic
-//! interleaving. Threads that violate the rule block on a condition
-//! variable; every clock change by any thread wakes blocked peers when any
-//! exist, so no wakeup can be lost.
+//! interleaving.
 //!
-//! The design deliberately uses plain `Mutex`/`Condvar` parking rather than
-//! per-thread handoff: the simulation targets at most a few dozen simulated
-//! threads, and on the single-CPU hosts this workspace targets the condvar
-//! broadcast is cheap relative to the simulated work.
+//! # Parking
+//!
+//! Threads that violate the rule park on a **per-thread** mutex/condvar
+//! pair, and clock changes issue *directed* wakeups: after bumping its
+//! clock (or finishing), a thread scans the clocks once and notifies only
+//! the peers the new minimum makes runnable — exactly one thread (the new
+//! lexicographic minimum) at window 0. The previous design parked every
+//! blocked thread on one shared condvar and `notify_all`'d it after every
+//! clock change; at window 0 that is a thundering herd of `threads - 1`
+//! sleepers woken (and mostly re-parked) per baton hand-off, which on a
+//! single-CPU host made futex traffic — not simulated work — the dominant
+//! cost of every benchmark.
+//!
+//! No wakeup is lost: a parker takes its own mutex, publishes its parked
+//! flag, and re-checks runnability *before* waiting; a waker bumps the
+//! clock first and then takes the target's mutex to notify. Everything is
+//! `SeqCst`, so either the waker's scan sees the parked flag (and
+//! notifies under the mutex, which the parker holds until it waits), or
+//! the parker's runnability re-check sees the waker's new clock.
+//!
+//! Which threads are runnable is a pure function of the clock vector, so
+//! wakeup mechanics cannot change window-0 schedules — every artifact is
+//! byte-identical to the broadcast design.
 
 use crate::control::ScheduleControl;
 use crate::fault::{FaultPlan, FaultStats, FaultThreadState};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Maximum number of simulated threads (bounded by the conflict-bitmap
@@ -37,15 +54,28 @@ const DONE: u64 = u64::MAX;
 #[repr(align(128))]
 struct PaddedClock(AtomicU64);
 
+/// One thread's parking place, padded like the clocks so parkers never
+/// false-share. Only its owner waits on `cv`; anyone may notify.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct Parker {
+    /// True while the owner is inside `park` (set and cleared under
+    /// `mutex`, read lock-free by wakers).
+    parked: AtomicBool,
+    mutex: Mutex<()>,
+    cv: Condvar,
+}
+
 /// The shared scheduler state for one simulation run.
 #[derive(Debug)]
 pub struct Scheduler {
     window: u64,
     times: Vec<PaddedClock>,
-    /// Number of threads currently blocked in `park`.
-    parked: AtomicUsize,
-    gate: Mutex<bool>,
-    cv: Condvar,
+    /// Per-thread parking places for the directed-wakeup protocol.
+    parkers: Vec<Parker>,
+    /// The start gate (cold path: crossed once per thread per run).
+    start: Mutex<bool>,
+    start_cv: Condvar,
     /// Per-thread fault-schedule state; empty when no faults are injected.
     /// Each entry is only ever locked by its own thread, so the mutexes are
     /// uncontended — they exist to make the state shareable via `&self`.
@@ -74,9 +104,9 @@ impl Scheduler {
         Scheduler {
             window,
             times: (0..threads).map(|_| PaddedClock(AtomicU64::new(0))).collect(),
-            parked: AtomicUsize::new(0),
-            gate: Mutex::new(false),
-            cv: Condvar::new(),
+            parkers: (0..threads).map(|_| Parker::default()).collect(),
+            start: Mutex::new(false),
+            start_cv: Condvar::new(),
             faults,
             control: None,
         }
@@ -112,15 +142,15 @@ impl Scheduler {
 
     /// Open the start gate, releasing all simulated threads.
     pub fn release_start(&self) {
-        let mut started = self.gate.lock();
+        let mut started = self.start.lock();
         *started = true;
-        self.cv.notify_all();
+        self.start_cv.notify_all();
     }
 
     fn wait_for_start(&self) {
-        let mut started = self.gate.lock();
+        let mut started = self.start.lock();
         while !*started {
-            self.cv.wait(&mut started);
+            self.start_cv.wait(&mut started);
         }
     }
 
@@ -156,15 +186,60 @@ impl Scheduler {
         }
     }
 
-    /// Wake blocked peers if any exist. Called after every clock change.
-    fn wake_if_parked(&self) {
-        if self.parked.load(Ordering::SeqCst) > 0 {
-            // Taking the mutex before notifying orders this wakeup after
-            // any in-flight `park` has either observed the new clock or
-            // entered the condvar wait — so no wakeup is lost.
-            let _g = self.gate.lock();
-            self.cv.notify_all();
+    /// Notify thread `target` if it is parked. Taking the parker's mutex
+    /// before notifying orders this wakeup after the parker has either
+    /// re-checked runnability (seeing the caller's prior clock change) or
+    /// entered the condvar wait — so no wakeup is lost.
+    fn wake(&self, target: usize) {
+        let p = &self.parkers[target];
+        if p.parked.load(Ordering::SeqCst) {
+            let _g = p.mutex.lock();
+            p.cv.notify_one();
         }
+    }
+
+    /// Directed wakeups after a clock change by (or finish of) `id`: scan
+    /// the clocks once and notify exactly the peers the new state makes
+    /// runnable — the new lexicographic minimum at window 0, every thread
+    /// back inside the lag window otherwise. Returns the scanned
+    /// `(min, min_id)` so `advance` can reuse it for its own runnability
+    /// check without a second scan.
+    fn wake_runnable(&self, id: usize) -> (u64, usize) {
+        let (min, min_id) = self.min_clock();
+        if min == DONE {
+            // Everyone finished; defensively release any parked stragglers
+            // (is_runnable is vacuously true for them now).
+            for t in 0..self.parkers.len() {
+                self.wake(t);
+            }
+        } else if self.window == 0 {
+            // Exactly one thread is runnable: the minimum. Skip the
+            // self-notify when the caller kept the baton.
+            if min_id != id {
+                self.wake(min_id);
+            }
+        } else {
+            let cap = min.saturating_add(self.window);
+            for t in 0..self.parkers.len() {
+                if t != id && self.times[t].0.load(Ordering::SeqCst) <= cap {
+                    self.wake(t);
+                }
+            }
+        }
+        (min, min_id)
+    }
+
+    /// Block until the bounded-lag rule readmits thread `id` at clock `t`.
+    fn park(&self, id: usize, t: u64) {
+        let p = &self.parkers[id];
+        let mut guard = p.mutex.lock();
+        p.parked.store(true, Ordering::SeqCst);
+        // Re-check under the mutex: a waker that missed our parked flag
+        // has already bumped its clock, so this check sees it.
+        while !self.is_runnable(id, t) {
+            p.cv.wait(&mut guard);
+        }
+        p.parked.store(false, Ordering::SeqCst);
     }
 
     fn advance(&self, id: usize, cost: u64) {
@@ -181,14 +256,22 @@ impl Scheduler {
             None => cost,
         };
         let t = self.times[id].0.fetch_add(cost, Ordering::SeqCst) + cost;
-        self.wake_if_parked();
-        if !self.is_runnable(id, t) {
-            let mut guard = self.gate.lock();
-            self.parked.fetch_add(1, Ordering::SeqCst);
-            while !self.is_runnable(id, t) {
-                self.cv.wait(&mut guard);
-            }
-            self.parked.fetch_sub(1, Ordering::SeqCst);
+        // Single-thread fast path: alone, the bounded-lag rule is always
+        // satisfied and there is no one to wake (fill phases and
+        // single-thread baselines take this branch on every advance).
+        if self.times.len() == 1 {
+            return;
+        }
+        let (min, min_id) = self.wake_runnable(id);
+        let runnable = if min == DONE {
+            true
+        } else if self.window == 0 {
+            (t, id) <= (min, min_id)
+        } else {
+            t <= min.saturating_add(self.window)
+        };
+        if !runnable {
+            self.park(id, t);
         }
     }
 
@@ -198,8 +281,9 @@ impl Scheduler {
             ctl.thread_finished(id, &|tid| self.times[tid].0.load(Ordering::SeqCst));
             return;
         }
-        let _g = self.gate.lock();
-        self.cv.notify_all();
+        if self.times.len() > 1 {
+            self.wake_runnable(id);
+        }
     }
 }
 
@@ -324,5 +408,48 @@ mod tests {
         s.finish(0);
         s.finish(1);
         assert!(s.is_runnable(0, DONE));
+    }
+
+    #[test]
+    fn wake_runnable_reports_the_minimum() {
+        let s = Scheduler::new(3, 0);
+        s.release_start();
+        s.times[0].0.store(10, Ordering::SeqCst);
+        s.times[2].0.store(4, Ordering::SeqCst);
+        // No peers are parked, so this only scans and reports.
+        assert_eq!(s.wake_runnable(0), (0, 1));
+        s.times[1].0.store(7, Ordering::SeqCst);
+        assert_eq!(s.wake_runnable(0), (4, 2));
+    }
+
+    #[test]
+    fn directed_wakeup_is_not_lost() {
+        // One thread parks (not runnable), a peer then advances past it;
+        // the parked thread must be released by the directed wakeup. This
+        // is the race the Dekker-style flag/clock ordering closes.
+        for _ in 0..200 {
+            let s = Arc::new(Scheduler::new(2, 0));
+            s.release_start();
+            // Thread 1 at clock 5: not runnable while thread 0 is at 0.
+            let parker = {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    s.times[1].0.store(5, Ordering::SeqCst);
+                    if !s.is_runnable(1, 5) {
+                        s.park(1, 5);
+                    }
+                })
+            };
+            // Thread 0 races ahead to 6 and issues the directed wakeup.
+            let waker = {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    s.times[0].0.store(6, Ordering::SeqCst);
+                    s.wake_runnable(0);
+                })
+            };
+            waker.join().expect("waker");
+            parker.join().expect("parker must be woken");
+        }
     }
 }

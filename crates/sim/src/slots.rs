@@ -11,6 +11,26 @@
 //! the lemming effect in time).
 
 use crate::stats::{AbortCause, CauseHistogram};
+use std::collections::BTreeMap;
+
+/// Number of slots stored densely (as vector entries). A completion at a
+/// huge timestamp — a long chaos run with a small `slot_cycles`, or an
+/// adversarial `now` near `u64::MAX` — previously forced a
+/// `resize(slot + 1)` of O(now / slot_cycles) zeroed entries (after an
+/// `as usize` cast that truncates on 32-bit targets); slots at or beyond
+/// this cap now go to a sparse map instead, so one late event costs one
+/// map entry.
+const DENSE_SLOT_CAP: u64 = 1 << 16;
+
+/// Split a recording timestamp into a dense index or a sparse slot key.
+fn slot_index(now: u64, slot_cycles: u64) -> Result<usize, u64> {
+    let slot = now / slot_cycles;
+    if slot < DENSE_SLOT_CAP {
+        Ok(slot as usize)
+    } else {
+        Err(slot)
+    }
+}
 
 /// Add `src` into `dst` slot-wise, zero-extending `dst` first so no tail
 /// count on either side is ever dropped (a *total* merge).
@@ -43,6 +63,9 @@ pub struct SlotRecorder {
     slot_cycles: u64,
     completed: Vec<u64>,
     nonspec: Vec<u64>,
+    /// Sparse `(completed, nonspec)` counts for slots at or beyond
+    /// [`DENSE_SLOT_CAP`].
+    tail: BTreeMap<u64, (u64, u64)>,
 }
 
 impl SlotRecorder {
@@ -53,7 +76,12 @@ impl SlotRecorder {
     /// Panics if `slot_cycles` is zero.
     pub fn new(slot_cycles: u64) -> Self {
         assert!(slot_cycles > 0, "slot width must be positive");
-        SlotRecorder { slot_cycles, completed: Vec::new(), nonspec: Vec::new() }
+        SlotRecorder {
+            slot_cycles,
+            completed: Vec::new(),
+            nonspec: Vec::new(),
+            tail: BTreeMap::new(),
+        }
     }
 
     /// Slot width in cycles.
@@ -64,14 +92,24 @@ impl SlotRecorder {
     /// Record one completed operation at logical time `now`;
     /// `nonspeculative` marks completions under the real lock.
     pub fn record(&mut self, now: u64, nonspeculative: bool) {
-        let slot = (now / self.slot_cycles) as usize;
-        if slot >= self.completed.len() {
-            self.completed.resize(slot + 1, 0);
-            self.nonspec.resize(slot + 1, 0);
-        }
-        self.completed[slot] += 1;
-        if nonspeculative {
-            self.nonspec[slot] += 1;
+        match slot_index(now, self.slot_cycles) {
+            Ok(slot) => {
+                if slot >= self.completed.len() {
+                    self.completed.resize(slot + 1, 0);
+                    self.nonspec.resize(slot + 1, 0);
+                }
+                self.completed[slot] += 1;
+                if nonspeculative {
+                    self.nonspec[slot] += 1;
+                }
+            }
+            Err(slot) => {
+                let (c, n) = self.tail.entry(slot).or_insert((0, 0));
+                *c += 1;
+                if nonspeculative {
+                    *n += 1;
+                }
+            }
         }
     }
 
@@ -84,6 +122,11 @@ impl SlotRecorder {
         assert_eq!(self.slot_cycles, other.slot_cycles, "slot widths must match");
         add_padded(&mut self.completed, &other.completed);
         add_padded(&mut self.nonspec, &other.nonspec);
+        for (&slot, &(c, n)) in &other.tail {
+            let e = self.tail.entry(slot).or_insert((0, 0));
+            e.0 += c;
+            e.1 += n;
+        }
     }
 
     /// Finish recording and compute the per-slot series.
@@ -92,6 +135,7 @@ impl SlotRecorder {
             slot_cycles: self.slot_cycles,
             completed: self.completed,
             nonspec: self.nonspec,
+            tail: self.tail,
             normalized_throughput: Vec::new(),
             frac_nonspec: Vec::new(),
         };
@@ -109,6 +153,11 @@ pub struct SlotSeries {
     pub completed: Vec<u64>,
     /// Raw non-speculative completions per slot.
     pub nonspec: Vec<u64>,
+    /// Sparse `(completed, nonspec)` counts for slots at or beyond the
+    /// dense cap — late stragglers of very long runs. Included in totals
+    /// and merges; the derived per-slot vectors below stay dense-only
+    /// (the figures plot the dense prefix).
+    pub tail: BTreeMap<u64, (u64, u64)>,
     /// Per-slot throughput normalized to the whole-run average (top panel).
     pub normalized_throughput: Vec<f64>,
     /// Per-slot fraction of non-speculative completions (bottom panel).
@@ -143,6 +192,11 @@ impl SlotSeries {
         assert_eq!(self.slot_cycles, other.slot_cycles, "slot widths must match");
         add_padded(&mut self.completed, &other.completed);
         add_padded(&mut self.nonspec, &other.nonspec);
+        for (&slot, &(c, n)) in &other.tail {
+            let e = self.tail.entry(slot).or_insert((0, 0));
+            e.0 += c;
+            e.1 += n;
+        }
         // Square the result up so the derived per-slot vectors (computed by
         // zipping the two) cover every slot that holds a count.
         let width = self.completed.len().max(self.nonspec.len());
@@ -186,6 +240,8 @@ impl SlotSeries {
 pub struct CauseSlotRecorder {
     slot_cycles: u64,
     slots: Vec<CauseHistogram>,
+    /// Sparse histograms for slots at or beyond [`DENSE_SLOT_CAP`].
+    tail: BTreeMap<u64, CauseHistogram>,
 }
 
 impl CauseSlotRecorder {
@@ -196,7 +252,7 @@ impl CauseSlotRecorder {
     /// Panics if `slot_cycles` is zero.
     pub fn new(slot_cycles: u64) -> Self {
         assert!(slot_cycles > 0, "slot width must be positive");
-        CauseSlotRecorder { slot_cycles, slots: Vec::new() }
+        CauseSlotRecorder { slot_cycles, slots: Vec::new(), tail: BTreeMap::new() }
     }
 
     /// Slot width in cycles.
@@ -206,11 +262,17 @@ impl CauseSlotRecorder {
 
     /// Record one abort of `cause` at logical time `now`.
     pub fn record(&mut self, now: u64, cause: AbortCause) {
-        let slot = (now / self.slot_cycles) as usize;
-        if slot >= self.slots.len() {
-            self.slots.resize(slot + 1, CauseHistogram::new());
+        match slot_index(now, self.slot_cycles) {
+            Ok(slot) => {
+                if slot >= self.slots.len() {
+                    self.slots.resize(slot + 1, CauseHistogram::new());
+                }
+                self.slots[slot].record(cause);
+            }
+            Err(slot) => {
+                self.tail.entry(slot).or_default().record(cause);
+            }
         }
-        self.slots[slot].record(cause);
     }
 
     /// Merge another recorder (same slot width) into this one.
@@ -221,11 +283,14 @@ impl CauseSlotRecorder {
     pub fn merge(&mut self, other: &CauseSlotRecorder) {
         assert_eq!(self.slot_cycles, other.slot_cycles, "slot widths must match");
         merge_padded(&mut self.slots, &other.slots);
+        for (&slot, h) in &other.tail {
+            self.tail.entry(slot).or_default().merge(h);
+        }
     }
 
     /// Finish recording.
     pub fn into_series(self) -> CauseSlotSeries {
-        CauseSlotSeries { slot_cycles: self.slot_cycles, slots: self.slots }
+        CauseSlotSeries { slot_cycles: self.slot_cycles, slots: self.slots, tail: self.tail }
     }
 }
 
@@ -236,6 +301,9 @@ pub struct CauseSlotSeries {
     pub slot_cycles: u64,
     /// One histogram per slot, earliest first.
     pub slots: Vec<CauseHistogram>,
+    /// Sparse histograms for slots at or beyond the dense cap; counted by
+    /// [`CauseSlotSeries::totals`] and preserved by merges.
+    pub tail: BTreeMap<u64, CauseHistogram>,
 }
 
 impl CauseSlotSeries {
@@ -254,17 +322,23 @@ impl CauseSlotSeries {
     pub fn merge(&mut self, other: &CauseSlotSeries) {
         assert_eq!(self.slot_cycles, other.slot_cycles, "slot widths must match");
         merge_padded(&mut self.slots, &other.slots);
+        for (&slot, h) in &other.tail {
+            self.tail.entry(slot).or_default().merge(h);
+        }
     }
 
     /// Whether the series is empty.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.slots.is_empty() && self.tail.is_empty()
     }
 
-    /// All slots folded into one histogram.
+    /// All slots folded into one histogram, the sparse tail included.
     pub fn totals(&self) -> CauseHistogram {
         let mut acc = CauseHistogram::new();
         for h in &self.slots {
+            acc.merge(h);
+        }
+        for h in self.tail.values() {
             acc.merge(h);
         }
         acc
@@ -391,6 +465,7 @@ mod tests {
             slot_cycles: 10,
             completed,
             nonspec,
+            tail: BTreeMap::new(),
             normalized_throughput: Vec::new(),
             frac_nonspec: Vec::new(),
         };
@@ -485,6 +560,51 @@ mod tests {
                 prop_assert_eq!(ab.totals().total(), ba.totals().total());
             }
         }
+    }
+
+    #[test]
+    fn adversarial_now_goes_to_the_sparse_tail() {
+        // Regression: a single completion at a huge timestamp used to
+        // resize the dense vectors to now/slot_cycles entries — O(10^18)
+        // zeroed slots for the worst case below.
+        let mut r = SlotRecorder::new(1);
+        r.record(u64::MAX, true);
+        r.record(u64::MAX, false);
+        r.record(DENSE_SLOT_CAP - 1, false); // last dense slot
+        let mut s = r.into_series();
+        assert_eq!(s.completed.len(), DENSE_SLOT_CAP as usize, "dense prefix is capped");
+        assert_eq!(s.tail.get(&u64::MAX), Some(&(2, 1)));
+        // The tail survives a series merge.
+        let mut r2 = SlotRecorder::new(1);
+        r2.record(u64::MAX, true);
+        s.merge(&r2.into_series());
+        assert_eq!(s.tail.get(&u64::MAX), Some(&(3, 2)));
+
+        let mut c = CauseSlotRecorder::new(1);
+        c.record(u64::MAX, AbortCause::Capacity);
+        c.record(0, AbortCause::DataConflict);
+        let cs = c.into_series();
+        assert_eq!(cs.slots.len(), 1, "no dense blow-up");
+        assert_eq!(cs.totals().total(), 2, "totals include the sparse tail");
+        assert!(!cs.is_empty());
+    }
+
+    #[test]
+    fn recorder_merge_preserves_sparse_tails() {
+        let mut a = SlotRecorder::new(100);
+        a.record(u64::MAX - 5, false);
+        let mut b = SlotRecorder::new(100);
+        b.record(u64::MAX - 5, true);
+        a.merge(&b);
+        let s = a.into_series();
+        assert_eq!(s.tail.values().copied().collect::<Vec<_>>(), vec![(2, 1)]);
+
+        let mut ca = CauseSlotRecorder::new(100);
+        ca.record(u64::MAX, AbortCause::Explicit);
+        let mut cb = CauseSlotRecorder::new(100);
+        cb.record(u64::MAX, AbortCause::Explicit);
+        ca.merge(&cb);
+        assert_eq!(ca.into_series().totals().get(AbortCause::Explicit), 2);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Cross-rewrite artifact byte-identity gates.
+//!
+//! The hot-path rewrite (fixed-capacity line sets, scratch reuse,
+//! directed scheduler wakeups) promises that every window-0 artifact is
+//! *byte-identical* to what the original `HashSet`/`HashMap` +
+//! broadcast-wakeup implementation produced. These tests pin that promise
+//! to hashes captured from the pre-rewrite binaries: they run the real
+//! figure binaries (via `CARGO_BIN_EXE_*`) into a scratch directory and
+//! compare an FNV-1a hash of each deterministic artifact (wall-clock
+//! `TIMING_*.json` files are excluded, as in the CI determinism gates).
+//!
+//! If one of these fails after an intentional behavior change (new RNG
+//! draw, different cost model, extra instrumentation), regenerate the
+//! constants from the failure message — the test prints the actual hash.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// FNV-1a 64-bit. Stable, dependency-free, good enough to pin artifact
+/// bytes (these are equality gates, not security).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn hash_artifact(dir: &Path, name: &str) -> u64 {
+    let path = dir.join(name);
+    let bytes =
+        std::fs::read(&path).unwrap_or_else(|e| panic!("reading artifact {}: {e}", path.display()));
+    fnv1a(&bytes)
+}
+
+/// A scratch directory under the target-adjacent temp dir, removed on
+/// drop so repeated runs never see stale artifacts.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("goldens_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("creating scratch dir");
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run_binary(exe: &str, args: &[&str]) {
+    let status = Command::new(exe)
+        .args(args)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .unwrap_or_else(|e| panic!("spawning {exe}: {e}"));
+    assert!(status.success(), "{exe} {args:?} exited with {status}");
+}
+
+fn assert_golden(dir: &Path, name: &str, want: u64) {
+    let got = hash_artifact(dir, name);
+    assert_eq!(
+        got, want,
+        "artifact {name} changed: fnv1a {got:#018x} != golden {want:#018x} \
+         (captured from the pre-rewrite implementation; update only for an \
+         intentional behavior change)"
+    );
+}
+
+/// Figure-2 artifacts (CSV + metrics JSON) at window 0 must match the
+/// pre-rewrite implementation byte for byte.
+#[test]
+fn fig2_quick_artifacts_match_pre_rewrite_goldens() {
+    let scratch = Scratch::new("fig2");
+    let dir = scratch.0.to_str().expect("utf-8 scratch path");
+    run_binary(
+        env!("CARGO_BIN_EXE_fig2_lemming"),
+        &["--quick", "--seeds", "1", "--jobs", "2", "--csv", dir, "--metrics", dir],
+    );
+    assert_golden(&scratch.0, "fig2_lemming.csv", GOLDEN_FIG2_CSV);
+    assert_golden(&scratch.0, "fig2_lemming.json", GOLDEN_FIG2_JSON);
+}
+
+/// The perf gate's deterministic metrics file is part of the same
+/// promise: simulated throughput per cell is a pure function of the spec.
+#[test]
+fn perf_gate_metrics_match_pre_rewrite_goldens() {
+    let scratch = Scratch::new("perf_gate");
+    let dir = scratch.0.to_str().expect("utf-8 scratch path");
+    // --baseline into the scratch dir and --bless so the run never fails
+    // on (or writes to) the tracked baseline: only the deterministic
+    // metrics file matters here.
+    let baseline = scratch.0.join("baseline.json");
+    run_binary(
+        env!("CARGO_BIN_EXE_perf_gate"),
+        &[
+            "--quick",
+            "--seeds",
+            "1",
+            "--jobs",
+            "2",
+            "--metrics",
+            dir,
+            "--reps",
+            "1",
+            "--bless",
+            "--baseline",
+            baseline.to_str().expect("utf-8 baseline path"),
+        ],
+    );
+    assert_golden(&scratch.0, "BENCH_SIM_HOTPATH.json", GOLDEN_PERF_GATE_JSON);
+}
+
+/// MODELCHECK.json from the DPOR model checker must also be unchanged.
+/// `#[ignore]`d by default (the quick sweep takes ~1 minute unoptimized);
+/// CI runs it in the model-check job via `-- --ignored`.
+#[test]
+#[ignore = "runs the full --quick model-check sweep; exercised by CI's model-check job"]
+fn modelcheck_quick_artifact_matches_pre_rewrite_golden() {
+    let scratch = Scratch::new("mc");
+    let dir = scratch.0.to_str().expect("utf-8 scratch path");
+    run_binary(env!("CARGO_BIN_EXE_model_check"), &["--quick", "--jobs", "2", "--metrics", dir]);
+    assert_golden(&scratch.0, "MODELCHECK.json", GOLDEN_MODELCHECK_JSON);
+}
+
+// Golden hashes captured from the pre-rewrite implementation (HashSet /
+// HashMap transaction sets, broadcast condvar scheduler) at window 0.
+const GOLDEN_FIG2_CSV: u64 = 0xeec5_ff6d_11b3_89b5;
+const GOLDEN_FIG2_JSON: u64 = 0x1e5d_8780_c903_1f5e;
+const GOLDEN_PERF_GATE_JSON: u64 = 0xf51c_4816_a17b_5968;
+const GOLDEN_MODELCHECK_JSON: u64 = 0x1331_dd5f_75c2_f000;
