@@ -1,0 +1,232 @@
+//! Cross-operation interference analysis over a memory layout.
+//!
+//! Given the word-level footprints of [`crate::footprint::dry_run`] and
+//! the [`LayoutMap`] the placement policy produced, this module predicts
+//! which pairs of operations the HTM's line-granular conflict detection
+//! would serialize — and, crucially, *why*: a genuine shared variable (or
+//! two fields of one record, inseparable at record granularity), or mere
+//! co-residency of unrelated records on one line (false sharing, the
+//! placement-induced aborts of arXiv 1504.04640).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use elision_htm::LayoutMap;
+
+use crate::footprint::OpFootprint;
+
+/// Why two operations conflict at line granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterferenceKind {
+    /// The operations share a variable (one side writing it), or only
+    /// ever collide on fields of the *same record* — either way the
+    /// conflict is inherent at record granularity and no placement
+    /// policy can remove it.
+    VarConflict,
+    /// The operations share *no* variable, yet one writes a line the
+    /// other touches through a **different record**: unrelated data
+    /// co-resides on the line. Padding or scattering removes this
+    /// conflict.
+    FalseSharing,
+}
+
+/// One edge of the interference graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interference {
+    /// Index of the first operation in the footprint slice.
+    pub a: usize,
+    /// Index of the second operation (`a < b`).
+    pub b: usize,
+    /// Whether the conflict is inherent or placement-induced.
+    pub kind: InterferenceKind,
+    /// The conflicting cache lines, ascending. For a false-sharing edge
+    /// only the placement-induced lines are listed.
+    pub lines: Vec<u32>,
+    /// For a false-sharing edge: one witnessing variable pair on the
+    /// first conflicting line — `(written by one side, distinct-record
+    /// variable touched by the other)`.
+    pub witness: Option<(u32, u32)>,
+}
+
+/// Identity used to decide whether two co-resident words are "the same
+/// data" for false-sharing purposes: the (region, record) pair, with
+/// unmapped words (outside every region) each counting as their own
+/// record.
+fn record_id(layout: &LayoutMap, var: u32) -> (usize, u32) {
+    match layout.resolve(var) {
+        Some(r) => (r.region, r.record),
+        None => (usize::MAX, var),
+    }
+}
+
+/// Per conflicting line: a cross-record witness pair, if one exists.
+fn line_conflicts(
+    wa: &BTreeSet<u32>,
+    ta: &BTreeSet<u32>,
+    wb: &BTreeSet<u32>,
+    tb: &BTreeSet<u32>,
+    layout: &LayoutMap,
+) -> BTreeMap<u32, Option<(u32, u32)>> {
+    let mut out: BTreeMap<u32, Option<(u32, u32)>> = BTreeMap::new();
+    let by_line = |vars: &BTreeSet<u32>| -> BTreeMap<u32, Vec<u32>> {
+        let mut m: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for &v in vars {
+            m.entry(layout.line_of_word(v)).or_default().push(v);
+        }
+        m
+    };
+    for (writes, touched) in [(wa, tb), (wb, ta)] {
+        let w = by_line(writes);
+        let t = by_line(touched);
+        for (&line, wv) in &w {
+            if let Some(tv) = t.get(&line) {
+                let cross = wv.iter().find_map(|&x| {
+                    tv.iter()
+                        .find(|&&y| record_id(layout, x) != record_id(layout, y))
+                        .map(|&y| (x, y))
+                });
+                let slot = out.entry(line).or_insert(None);
+                if slot.is_none() {
+                    *slot = cross;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build the full pairwise interference graph over `ops`.
+///
+/// An edge exists between two operation instances iff one writes a cache
+/// line the other touches. It is [`InterferenceKind::FalseSharing`] only
+/// when the operations share no variable *and* some conflicting line is
+/// witnessed by two distinct records — otherwise the conflict is
+/// inherent and classified [`InterferenceKind::VarConflict`].
+pub fn interference_graph(ops: &[OpFootprint], layout: &LayoutMap) -> Vec<Interference> {
+    let touched: Vec<BTreeSet<u32>> = ops.iter().map(|o| o.touched()).collect();
+    let mut edges = Vec::new();
+    for a in 0..ops.len() {
+        for b in a + 1..ops.len() {
+            let var_conflict = ops[a].writes.intersection(&touched[b]).next().is_some()
+                || ops[b].writes.intersection(&touched[a]).next().is_some();
+            let conflicts =
+                line_conflicts(&ops[a].writes, &touched[a], &ops[b].writes, &touched[b], layout);
+            if conflicts.is_empty() {
+                continue;
+            }
+            let cross: Vec<(u32, (u32, u32))> =
+                conflicts.iter().filter_map(|(&l, w)| w.map(|w| (l, w))).collect();
+            let (kind, lines, witness) = if var_conflict || cross.is_empty() {
+                (InterferenceKind::VarConflict, conflicts.keys().copied().collect(), None)
+            } else {
+                (
+                    InterferenceKind::FalseSharing,
+                    cross.iter().map(|&(l, _)| l).collect(),
+                    Some(cross[0].1),
+                )
+            };
+            edges.push(Interference { a, b, kind, lines, witness });
+        }
+    }
+    edges
+}
+
+/// The false-sharing lines of a graph, each with one witnessing edge
+/// index — deduplicated so a lint pass can emit one finding per line.
+pub fn false_sharing_lines(edges: &[Interference]) -> BTreeMap<u32, usize> {
+    let mut out = BTreeMap::new();
+    for (i, e) in edges.iter().enumerate() {
+        if e.kind == InterferenceKind::FalseSharing {
+            for &line in &e.lines {
+                out.entry(line).or_insert(i);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elision_htm::{Region, VarRole};
+
+    fn fp(class: &str, reads: &[u32], writes: &[u32]) -> OpFootprint {
+        OpFootprint {
+            class: class.into(),
+            label: class.into(),
+            reads: reads.iter().copied().collect(),
+            writes: writes.iter().copied().collect(),
+        }
+    }
+
+    fn layout(wpl: u32, words: u32) -> LayoutMap {
+        LayoutMap::new(wpl, words, Vec::new())
+    }
+
+    #[test]
+    fn distinct_vars_on_one_line_are_false_sharing() {
+        // Words 0 and 1 share line 0 under an 8-word line; with no
+        // regions each word is its own record.
+        let l = layout(8, 16);
+        let ops = [fp("a", &[], &[0]), fp("b", &[1], &[])];
+        let edges = interference_graph(&ops, &l);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].kind, InterferenceKind::FalseSharing);
+        assert_eq!(edges[0].lines, vec![0]);
+        assert_eq!(edges[0].witness, Some((0, 1)));
+        assert_eq!(false_sharing_lines(&edges).len(), 1);
+    }
+
+    #[test]
+    fn shared_variable_is_a_var_conflict() {
+        let l = layout(8, 16);
+        let ops = [fp("a", &[], &[3]), fp("b", &[3], &[])];
+        let edges = interference_graph(&ops, &l);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].kind, InterferenceKind::VarConflict);
+        assert!(edges[0].witness.is_none());
+        assert!(false_sharing_lines(&edges).is_empty());
+    }
+
+    #[test]
+    fn same_record_fields_are_not_false_sharing() {
+        // One two-field record at words 0-1: touching different fields
+        // of the same record is inherent, not placement-induced.
+        let l = LayoutMap::new(
+            8,
+            16,
+            vec![Region { name: "rec".into(), role: VarRole::Data, stride: 2, bases: vec![0] }],
+        );
+        let ops = [fp("a", &[], &[0]), fp("b", &[1], &[])];
+        let edges = interference_graph(&ops, &l);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].kind, InterferenceKind::VarConflict);
+        assert!(false_sharing_lines(&edges).is_empty());
+    }
+
+    #[test]
+    fn different_records_on_one_line_are_false_sharing() {
+        let l = LayoutMap::new(
+            8,
+            16,
+            vec![Region { name: "rec".into(), role: VarRole::Data, stride: 2, bases: vec![0, 2] }],
+        );
+        let ops = [fp("a", &[], &[0]), fp("b", &[2], &[])];
+        let edges = interference_graph(&ops, &l);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].kind, InterferenceKind::FalseSharing);
+    }
+
+    #[test]
+    fn separate_lines_do_not_interfere() {
+        let l = layout(8, 16);
+        let ops = [fp("a", &[], &[0]), fp("b", &[8], &[])];
+        assert!(interference_graph(&ops, &l).is_empty());
+    }
+
+    #[test]
+    fn read_read_sharing_is_not_interference() {
+        let l = layout(8, 16);
+        let ops = [fp("a", &[0], &[]), fp("b", &[1], &[])];
+        assert!(interference_graph(&ops, &l).is_empty());
+    }
+}

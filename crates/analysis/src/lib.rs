@@ -35,8 +35,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod advisor;
 pub mod driver;
 pub mod explore;
+pub mod footprint;
+pub mod layout;
 pub mod linearize;
 pub mod lint;
 pub mod opacity;
@@ -83,11 +86,30 @@ pub enum LintId {
     /// consistent with real-time precedence and the sequential reference
     /// model — the execution is not linearizable.
     NotLinearizable,
+    /// Static (advisor) lint: two operations that never touch a common
+    /// variable nevertheless conflict on a cache line, because distinct
+    /// variables share the line (arXiv 1504.04640's placement-induced
+    /// aborts).
+    FalseSharing,
+    /// Static (advisor) lint: an operation's read- or write-line
+    /// footprint is within the configured margin of the HTM's `LineSet`
+    /// capacity — capacity aborts are predicted.
+    CapacityRisk,
+    /// Static (advisor) lint: a data or metadata variable shares a cache
+    /// line with a lock word, so every elided critical section touching
+    /// it conflicts with its own lock — the classic HLE self-abort.
+    LockWordCoResidency,
+    /// Static (advisor) lint: a lazily-subscribed (SLR-style) section
+    /// contains writes whose target depends on data read inside the
+    /// section — the "dangerous instruction" class of arXiv 1407.6968: a
+    /// zombie running such a section can target wild addresses before
+    /// the subscription check would have stopped it.
+    LazyDangerousInstruction,
 }
 
 impl LintId {
     /// Every lint the sanitizer can report.
-    pub const ALL: [LintId; 11] = [
+    pub const ALL: [LintId; 15] = [
         LintId::DataRace,
         LintId::OpacityInconsistentRead,
         LintId::ZombieCommit,
@@ -99,6 +121,10 @@ impl LintId {
         LintId::SlrUnsubscribedCommit,
         LintId::ScmMainWithoutAux,
         LintId::NotLinearizable,
+        LintId::FalseSharing,
+        LintId::CapacityRisk,
+        LintId::LockWordCoResidency,
+        LintId::LazyDangerousInstruction,
     ];
 
     /// Stable kebab-case identifier (used in JSON reports and docs).
@@ -115,6 +141,10 @@ impl LintId {
             LintId::SlrUnsubscribedCommit => "slr-unsubscribed-commit",
             LintId::ScmMainWithoutAux => "scm-main-without-aux",
             LintId::NotLinearizable => "not-linearizable",
+            LintId::FalseSharing => "false-sharing",
+            LintId::CapacityRisk => "capacity-risk",
+            LintId::LockWordCoResidency => "lock-word-co-residency",
+            LintId::LazyDangerousInstruction => "lazy-dangerous-instruction",
         }
     }
 }

@@ -4,8 +4,10 @@
 //! `*.json` in the directory (except a previous summary), validates the
 //! schema, and writes `<DIR>/BENCH_SUMMARY.json` containing one entry per
 //! report — binary name, its config, its row count — plus an abort-cause
-//! histogram summed over every row of every report. Files are processed
-//! in sorted name order, so the summary is deterministic.
+//! histogram summed over every row of every report and a lint histogram
+//! summed over every row's static-analysis `findings` (the elision_lint
+//! report). Files are processed in sorted name order, so the summary is
+//! deterministic.
 //!
 //! `TIMING_<binary>.json` files (written by the sweep orchestrator) are
 //! merged separately into `TIMING_SUMMARY.json` — per-binary wall-clock
@@ -14,6 +16,7 @@
 //! prefix the determinism gates exclude, and `BENCH_SUMMARY.json` itself
 //! stays byte-reproducible.
 
+use elision_analysis::LintId;
 use elision_bench::metrics::{parse, Json, SCHEMA_VERSION};
 use elision_sim::AbortCause;
 use std::fs;
@@ -126,6 +129,7 @@ fn main() {
     let mut reports = Vec::new();
     let mut total_rows = 0u64;
     let mut cause_totals = vec![0u64; AbortCause::ALL.len()];
+    let mut lint_totals = vec![0u64; LintId::ALL.len()];
     for path in &paths {
         let text = fs::read_to_string(path)
             .unwrap_or_else(|e| fail(&format!("reading {}: {e}", path.display())));
@@ -137,6 +141,19 @@ fn main() {
                 for (i, cause) in AbortCause::ALL.iter().enumerate() {
                     cause_totals[i] +=
                         causes.get(cause.label()).and_then(Json::as_u64).unwrap_or(0);
+                }
+            }
+            // Static-analysis reports (elision_lint) attach a "findings"
+            // array per row; tally them by lint so the summary carries
+            // the layout-health trajectory alongside the abort causes.
+            if let Some(findings) = row.get("findings").and_then(Json::as_arr) {
+                for finding in findings {
+                    let label = finding.get("lint").and_then(Json::as_str);
+                    for (i, lint) in LintId::ALL.iter().enumerate() {
+                        if label == Some(lint.label()) {
+                            lint_totals[i] += 1;
+                        }
+                    }
                 }
             }
         }
@@ -160,6 +177,18 @@ fn main() {
                     .iter()
                     .zip(&cause_totals)
                     .map(|(c, &n)| (c.label().to_string(), Json::Uint(n)))
+                    .collect(),
+            ),
+        ),
+        ("findings_total", Json::Uint(lint_totals.iter().sum())),
+        (
+            "lint_totals",
+            Json::Obj(
+                LintId::ALL
+                    .iter()
+                    .zip(&lint_totals)
+                    .filter(|&(_, &n)| n > 0)
+                    .map(|(l, &n)| (l.label().to_string(), Json::Uint(n)))
                     .collect(),
             ),
         ),

@@ -65,6 +65,14 @@ fn run_checked(spec: &TreeBenchSpec, what: &str) -> elision_bench::TreeBenchResu
         "{what}: an operation needed {} attempts (budget {MAX_ATTEMPTS_PER_OP})",
         r.watchdog.max_attempts()
     );
+    // Conflict-engine leak check: after quiescence every reader/writer
+    // bitmap bit must be cleared, even on abort paths the chaos faults
+    // forced — a leftover bit would doom unrelated future transactions.
+    assert!(
+        r.residual_lines.is_empty(),
+        "{what}: conflict bits leaked on lines {:?} after quiescence",
+        r.residual_lines
+    );
     r
 }
 

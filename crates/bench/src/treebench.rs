@@ -91,6 +91,10 @@ pub struct TreeBenchResult {
     pub fault_stats: FaultStats,
     /// How many times the speculation circuit breaker tripped.
     pub breaker_trips: u64,
+    /// Cache lines whose conflict-bitmap bits were still set after the
+    /// measured phase went quiescent. Always a leak if non-empty — every
+    /// commit and abort must clear its bits, chaos faults included.
+    pub residual_lines: Vec<u32>,
 }
 
 /// Run one tree-benchmark cell.
@@ -218,6 +222,7 @@ pub fn run_tree_bench(spec: &TreeBenchSpec) -> TreeBenchResult {
         watchdog,
         fault_stats,
         breaker_trips: scheme.breaker_trips(),
+        residual_lines: mem.residual_lines().iter().map(|l| l.raw()).collect(),
     }
 }
 
@@ -236,6 +241,7 @@ pub fn run_tree_bench_avg(spec: &TreeBenchSpec, seeds: u64) -> TreeBenchResult {
     let mut breaker_trips = 0u64;
     let mut slots: Option<elision_sim::SlotSeries> = None;
     let mut cause_slots: Option<elision_sim::CauseSlotSeries> = None;
+    let mut residual_lines: Vec<u32> = Vec::new();
     for k in 0..seeds.max(1) {
         let mut s = *spec;
         s.seed = spec.seed.wrapping_add(k * 7919);
@@ -257,7 +263,10 @@ pub fn run_tree_bench_avg(spec: &TreeBenchSpec, seeds: u64) -> TreeBenchResult {
             (acc @ None, Some(s)) => *acc = Some(s),
             _ => {}
         }
+        residual_lines.extend(r.residual_lines);
     }
+    residual_lines.sort_unstable();
+    residual_lines.dedup();
     let n = seeds.max(1);
     TreeBenchResult {
         throughput: throughput / n as f64,
@@ -269,6 +278,7 @@ pub fn run_tree_bench_avg(spec: &TreeBenchSpec, seeds: u64) -> TreeBenchResult {
         watchdog,
         fault_stats,
         breaker_trips,
+        residual_lines,
     }
 }
 
@@ -383,6 +393,7 @@ pub fn run_hash_bench(spec: &HashBenchSpec) -> TreeBenchResult {
         watchdog,
         fault_stats,
         breaker_trips: scheme.breaker_trips(),
+        residual_lines: mem.residual_lines().iter().map(|l| l.raw()).collect(),
     }
 }
 
@@ -425,6 +436,19 @@ mod tests {
         assert_eq!(total, 100);
         let causes = r.cause_slots.expect("cause slots requested");
         assert_eq!(causes.totals().total(), r.counters.aborted, "every abort lands in a slot");
+    }
+
+    #[test]
+    fn no_residual_conflict_bits_after_chaos_run() {
+        // The measured phase must leave the conflict engine clean even
+        // when faults force extra abort paths.
+        let mut s = tiny_spec(SchemeKind::HleScm, LockKind::Ttas);
+        let (plan, htm_faults) = crate::ChaosProfile::Full.at_intensity(2, 0xC4A0);
+        s.htm = HtmConfig::deterministic().with_faults(htm_faults);
+        s.faults = plan;
+        let r = run_tree_bench(&s);
+        assert!(r.counters.completed() > 0);
+        assert!(r.residual_lines.is_empty(), "leaked lines {:?}", r.residual_lines);
     }
 
     #[test]

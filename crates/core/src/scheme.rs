@@ -120,6 +120,16 @@ impl SchemeKind {
     pub fn uses_aux(&self) -> bool {
         matches!(self, SchemeKind::HleScm | SchemeKind::SlrScm | SchemeKind::GroupedScm)
     }
+
+    /// Whether this scheme subscribes to the main lock *lazily* (SLR
+    /// style, Figure 5 line 24): the critical section body runs before
+    /// the lock is read, so a doomed "zombie" can execute arbitrary
+    /// section code on inconsistent state. Sections containing
+    /// data-dependent write targets are dangerous under such schemes
+    /// (arXiv 1407.6968).
+    pub fn is_lazy_subscription(&self) -> bool {
+        matches!(self, SchemeKind::OptSlr | SchemeKind::SlrScm)
+    }
 }
 
 impl fmt::Display for SchemeKind {

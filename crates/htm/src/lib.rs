@@ -59,6 +59,7 @@ mod config;
 mod fault;
 mod lineset;
 mod memory;
+pub mod placement;
 mod sanitize;
 mod strand;
 
@@ -66,6 +67,9 @@ pub use abort::{codes, Abort, AbortReason, AbortStatus, TxResult, TxnStats};
 pub use config::{HtmConfig, HtmConfigError};
 pub use fault::{AbortStorm, CapacitySqueeze, HotLine, HtmFaults};
 pub use memory::{LineId, Memory, MemoryBuilder, VarId};
+pub use placement::{
+    LayoutMap, PlacementConfig, PlacementPolicy, Placer, RecordArena, Region, ResolvedVar, VarRole,
+};
 pub use sanitize::{SanAccess, SanEvent, SanLog};
 pub use strand::Strand;
 

@@ -91,6 +91,13 @@ pub struct MemoryBuilder {
     lock_words: Vec<VarId>,
     /// Whether the frozen memory carries a sanitizer event log.
     sanitize: bool,
+    /// When set, [`MemoryBuilder::alloc_isolated`],
+    /// [`MemoryBuilder::alloc_lock_word`] and
+    /// [`MemoryBuilder::pad_to_line`] stop padding: "isolated" words land
+    /// wherever the cursor is, co-resident with neighbouring data. The
+    /// placement layer uses this to seed the classic HLE self-abort
+    /// layout (lock word sharing a line with data) on purpose.
+    pack_isolated: bool,
 }
 
 impl MemoryBuilder {
@@ -101,6 +108,7 @@ impl MemoryBuilder {
             words_per_line: 8,
             lock_words: Vec::new(),
             sanitize: false,
+            pack_isolated: false,
         }
     }
 
@@ -142,8 +150,17 @@ impl MemoryBuilder {
         first
     }
 
+    /// Disable (or re-enable) the padding that isolation-requesting
+    /// allocations normally get. With packing on, lock words and
+    /// "isolated" metadata land co-resident with adjacent data — the
+    /// seeded-bad layout the static advisor must flag.
+    pub fn set_pack_isolated(&mut self, pack: bool) {
+        self.pack_isolated = pack;
+    }
+
     /// Allocate one word on its *own* cache line (padding around it), so
     /// that no unrelated word ever false-shares with it. Used for locks.
+    /// Under [`MemoryBuilder::set_pack_isolated`] the padding is skipped.
     pub fn alloc_isolated(&mut self, init: u64) -> VarId {
         self.pad_to_line();
         let id = self.alloc(init);
@@ -174,8 +191,12 @@ impl MemoryBuilder {
     }
 
     /// Pad the allocation cursor to the next line boundary, so the next
-    /// allocation starts a fresh line.
+    /// allocation starts a fresh line. A no-op under
+    /// [`MemoryBuilder::set_pack_isolated`].
     pub fn pad_to_line(&mut self) {
+        if self.pack_isolated {
+            return;
+        }
         while !self.values.len().is_multiple_of(self.words_per_line) {
             self.values.push(0);
         }
@@ -184,6 +205,17 @@ impl MemoryBuilder {
     /// Number of words allocated so far.
     pub fn len(&self) -> usize {
         self.values.len()
+    }
+
+    /// The configured line width in words (the builder-side counterpart
+    /// of [`Memory::words_per_line`]).
+    pub fn line_width(&self) -> usize {
+        self.words_per_line
+    }
+
+    /// The words registered as lock words so far (allocation order).
+    pub fn registered_lock_words(&self) -> &[VarId] {
+        &self.lock_words
     }
 
     /// Whether nothing has been allocated.
@@ -550,6 +582,17 @@ mod tests {
         assert!(m.is_lock_line(m.line_of(lock).raw()));
         assert!(m.is_lock_line(m.line_of(marked).raw()));
         assert!(!m.is_lock_line(u32::MAX), "out of range is not a lock line");
+    }
+
+    #[test]
+    fn packed_isolation_makes_lock_words_co_resident() {
+        let mut b = MemoryBuilder::new().words_per_line(4);
+        b.set_pack_isolated(true);
+        let data = b.alloc(3);
+        let lock = b.alloc_lock_word(0);
+        let m = b.freeze(1);
+        assert_eq!(m.line_of(data), m.line_of(lock), "packing skips isolation padding");
+        assert!(m.is_lock_line(m.line_of(data).raw()), "data line inherits the lock mark");
     }
 
     #[test]

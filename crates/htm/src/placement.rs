@@ -1,0 +1,663 @@
+//! Memory-placement policies and the variable→cache-line layout map.
+//!
+//! "The Influence of Malloc Placement on TSX HTM" (arXiv 1504.04640)
+//! shows that where an allocator puts objects relative to cache lines
+//! dominates HTM abort rates: packed objects false-share, lock words
+//! co-resident with data self-abort every elided critical section, and
+//! index-correlated placement turns logically disjoint operations into
+//! line-level conflicts. This module makes placement a first-class,
+//! configurable decision instead of an accident of allocation order:
+//!
+//! * [`PlacementPolicy`] selects the line-assignment strategy for record
+//!   arenas (packed / padded / index-aware / randomized);
+//! * [`PlacementConfig`] adds the lock-word decision (isolated vs
+//!   co-resident with data — the classic HLE self-abort seed);
+//! * [`Placer`] wraps a [`MemoryBuilder`] and applies the policy to every
+//!   named region a structure allocates, producing both the usual frozen
+//!   memory and a [`LayoutMap`] — the static variable→line assignment the
+//!   analysis crate lints against;
+//! * [`RecordArena`] is the structure-side handle: field addressing that
+//!   is a contiguous base+stride formula for packed/padded layouts (the
+//!   existing hot path) and a per-record base table for the scattered
+//!   policies.
+//!
+//! The [`LayoutMap`] deliberately computes line indices with its *own*
+//! division-based arithmetic rather than delegating to
+//! [`Memory::line_of`](crate::Memory::line_of); a differential proptest
+//! pins the two against each other, covering the power-of-two shift fast
+//! path and the division fallback alike.
+
+use crate::memory::{MemoryBuilder, VarId};
+use elision_sim::DetRng;
+use std::sync::Arc;
+
+/// How a record arena maps record indices onto cache lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementPolicy {
+    /// Dense allocation with no padding at all: records straddle line
+    /// boundaries and share lines with whatever was allocated before and
+    /// after them. The malloc-default worst case.
+    Packed,
+    /// Every record's stride is rounded up to a whole number of lines, so
+    /// no two records ever share a line. The safe (and space-hungry)
+    /// layout the advisor should pass clean.
+    Padded,
+    /// Records with adjacent indices are placed on *different* lines
+    /// (block-cyclic assignment): index-correlated access patterns — the
+    /// neighbouring keys a sorted workload touches together — stop
+    /// colliding, while lines still hold multiple records.
+    IndexAware,
+    /// Records are assigned to line slots by a seeded Fisher–Yates
+    /// shuffle: expected sharing is uniform, decorrelated from any index
+    /// pattern. The seed makes the layout reproducible.
+    Randomized(u64),
+}
+
+impl PlacementPolicy {
+    /// The policies the placement sweeps compare (the randomized entry
+    /// uses a fixed default seed).
+    pub const ALL: [PlacementPolicy; 4] = [
+        PlacementPolicy::Packed,
+        PlacementPolicy::Padded,
+        PlacementPolicy::IndexAware,
+        PlacementPolicy::Randomized(0x9E37_79B9),
+    ];
+
+    /// Stable kebab-case label (bench keys, JSON artifacts).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementPolicy::Packed => "packed",
+            PlacementPolicy::Padded => "padded",
+            PlacementPolicy::IndexAware => "index-aware",
+            PlacementPolicy::Randomized(_) => "randomized",
+        }
+    }
+}
+
+/// A complete placement decision: the record policy plus where lock
+/// words live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementConfig {
+    /// Line-assignment strategy for record arenas and metadata words.
+    pub policy: PlacementPolicy,
+    /// When true, lock words are *not* isolated on their own line: they
+    /// land co-resident with adjacent data, so every elided critical
+    /// section that touches that data conflicts with the lock word — the
+    /// self-abort layout of arXiv 1504.04640 §4.
+    pub lock_coresident: bool,
+}
+
+impl PlacementConfig {
+    /// The given policy with properly isolated lock words.
+    pub fn new(policy: PlacementPolicy) -> Self {
+        PlacementConfig { policy, lock_coresident: false }
+    }
+
+    /// The safe baseline: padded records, isolated lock words.
+    pub fn padded() -> Self {
+        Self::new(PlacementPolicy::Padded)
+    }
+
+    /// The seeded-bad baseline: packed records *and* co-resident lock
+    /// words.
+    pub fn packed() -> Self {
+        PlacementConfig { policy: PlacementPolicy::Packed, lock_coresident: true }
+    }
+
+    /// Override the lock-word co-residency decision.
+    pub fn with_coresident_locks(mut self, coresident: bool) -> Self {
+        self.lock_coresident = coresident;
+        self
+    }
+
+    /// Stable label including the lock decision (bench keys).
+    pub fn label(&self) -> String {
+        if self.lock_coresident {
+            format!("{}+lockco", self.policy.label())
+        } else {
+            self.policy.label().to_string()
+        }
+    }
+}
+
+/// What a layout region holds, for lint classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarRole {
+    /// A lock word (subscription target; writes serialize everything).
+    Lock,
+    /// Record payload (tree nodes, hash buckets, queue slots).
+    Data,
+    /// Structure metadata (roots, heads, free-list heads).
+    Meta,
+}
+
+impl VarRole {
+    /// Stable lowercase label (JSON artifacts).
+    pub fn label(&self) -> &'static str {
+        match self {
+            VarRole::Lock => "lock",
+            VarRole::Data => "data",
+            VarRole::Meta => "meta",
+        }
+    }
+}
+
+/// One named region of the layout: `bases[i]` is the first word of
+/// record `i`, and the record occupies `stride` consecutive words.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Region name, e.g. `"rbtree.node"` or `"lock[0]"`.
+    pub name: String,
+    /// What the region holds.
+    pub role: VarRole,
+    /// Words per record.
+    pub stride: u32,
+    /// First word of each record, in record-index order.
+    pub bases: Vec<u32>,
+}
+
+/// A word resolved back to its region/record/field coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedVar<'a> {
+    /// Index into [`LayoutMap::regions`].
+    pub region: usize,
+    /// The region's name.
+    pub name: &'a str,
+    /// The region's role.
+    pub role: VarRole,
+    /// Record index within the region.
+    pub record: u32,
+    /// Field offset within the record (`< stride`).
+    pub field: u32,
+}
+
+/// The static variable→cache-line assignment a [`Placer`] produced.
+///
+/// Line arithmetic here is an independent division-based implementation
+/// (differentially tested against [`Memory::line_of`](crate::Memory::line_of)).
+#[derive(Debug, Clone)]
+pub struct LayoutMap {
+    words_per_line: u32,
+    words: u32,
+    regions: Vec<Region>,
+    /// `(base_word, region_index, record_index)` sorted by base, for
+    /// [`LayoutMap::resolve`].
+    index: Vec<(u32, u32, u32)>,
+}
+
+impl LayoutMap {
+    /// Build a map from explicit regions (the [`Placer`] does this; tests
+    /// may too).
+    pub fn new(words_per_line: u32, words: u32, regions: Vec<Region>) -> Self {
+        assert!(words_per_line > 0, "a line must hold at least one word");
+        let mut index = Vec::new();
+        for (ri, r) in regions.iter().enumerate() {
+            assert!(r.stride > 0, "region {} has zero stride", r.name);
+            for (rec, &b) in r.bases.iter().enumerate() {
+                assert!(
+                    b.saturating_add(r.stride) <= words,
+                    "region {} record {rec} overruns memory",
+                    r.name
+                );
+                index.push((b, ri as u32, rec as u32));
+            }
+        }
+        index.sort_unstable();
+        for w in index.windows(2) {
+            let (b0, r0, _) = w[0];
+            let end0 = b0 + regions[r0 as usize].stride;
+            assert!(end0 <= w[1].0, "overlapping records in layout map");
+        }
+        LayoutMap { words_per_line, words, regions, index }
+    }
+
+    /// Words per cache line.
+    pub fn words_per_line(&self) -> u32 {
+        self.words_per_line
+    }
+
+    /// Total words the layout covers (including padding).
+    pub fn words(&self) -> u32 {
+        self.words
+    }
+
+    /// Number of cache lines the layout covers.
+    pub fn line_count(&self) -> u32 {
+        self.words.div_ceil(self.words_per_line).max(1)
+    }
+
+    /// The named regions, in allocation order (lock words last).
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The cache line holding `word` — always the division form, never
+    /// the shift fast path, so it is an independent oracle for
+    /// [`Memory::line_of`](crate::Memory::line_of).
+    pub fn line_of_word(&self, word: u32) -> u32 {
+        word / self.words_per_line
+    }
+
+    /// The cache line holding `var` (convenience over raw words).
+    pub fn line_of(&self, var: VarId) -> u32 {
+        self.line_of_word(var.index())
+    }
+
+    /// Map `word` back to (region, record, field); `None` for padding
+    /// words that belong to no region.
+    pub fn resolve(&self, word: u32) -> Option<ResolvedVar<'_>> {
+        let i = self.index.partition_point(|&(b, _, _)| b <= word);
+        let &(base, ri, rec) = self.index.get(i.checked_sub(1)?)?;
+        let r = &self.regions[ri as usize];
+        let off = word - base;
+        if off < r.stride {
+            Some(ResolvedVar {
+                region: ri as usize,
+                name: &r.name,
+                role: r.role,
+                record: rec,
+                field: off,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// All lines of region `region_index`, sorted and deduplicated.
+    pub fn lines_of_region(&self, region_index: usize) -> Vec<u32> {
+        let r = &self.regions[region_index];
+        let mut lines: Vec<u32> =
+            r.bases.iter().flat_map(|&b| (b..b + r.stride).map(|w| self.line_of_word(w))).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    /// Lines that hold at least one lock word, sorted and deduplicated.
+    pub fn lock_lines(&self) -> Vec<u32> {
+        let mut lines: Vec<u32> = self
+            .regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.role == VarRole::Lock)
+            .flat_map(|(i, _)| self.lines_of_region(i))
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+}
+
+/// Structure-side handle for a placed record arena: turns `(record,
+/// field)` into a [`VarId`].
+///
+/// Contiguous arenas (packed/padded — and every pre-placement structure)
+/// use the base+pitch formula, keeping the existing single-branch hot
+/// path; scattered arenas (index-aware/randomized) go through a shared
+/// per-record base table.
+#[derive(Debug, Clone)]
+pub struct RecordArena {
+    base: u32,
+    /// Words between consecutive records (>= the logical stride for
+    /// padded layouts).
+    pitch: u32,
+    /// Per-record first words for scattered layouts; `None` means the
+    /// contiguous formula applies.
+    map: Option<Arc<Vec<u32>>>,
+}
+
+impl RecordArena {
+    /// A contiguous arena: record `i` starts at `base + i * pitch`.
+    pub fn contiguous(base: u32, pitch: u32) -> Self {
+        assert!(pitch > 0, "records must occupy at least one word");
+        RecordArena { base, pitch, map: None }
+    }
+
+    /// A scattered arena: record `i` starts at `bases[i]`.
+    pub fn mapped(bases: Vec<u32>, pitch: u32) -> Self {
+        assert!(pitch > 0, "records must occupy at least one word");
+        RecordArena { base: bases.first().copied().unwrap_or(0), pitch, map: Some(Arc::new(bases)) }
+    }
+
+    /// The word holding field `field` of record `record`.
+    #[inline]
+    pub fn word(&self, record: u64, field: u32) -> VarId {
+        debug_assert!(field < self.pitch, "field {field} outside record pitch {}", self.pitch);
+        match &self.map {
+            None => VarId::from_index(self.base + record as u32 * self.pitch + field),
+            Some(m) => VarId::from_index(m[record as usize] + field),
+        }
+    }
+
+    /// Words between record fields 0 and the end of the record's slot.
+    pub fn pitch(&self) -> u32 {
+        self.pitch
+    }
+
+    /// The per-record base words (contiguous arenas synthesize them).
+    pub fn bases(&self, count: usize) -> Vec<u32> {
+        match &self.map {
+            None => (0..count as u32).map(|i| self.base + i * self.pitch).collect(),
+            Some(m) => {
+                assert_eq!(m.len(), count, "scattered arena record count mismatch");
+                m.as_ref().clone()
+            }
+        }
+    }
+}
+
+/// Applies a [`PlacementConfig`] to every allocation of a structure,
+/// recording the resulting regions into a [`LayoutMap`].
+///
+/// The placer owns the builder: allocate through it (and through
+/// [`Placer::builder_mut`] for scheme/lock construction, which the
+/// placer captures as lock regions at [`Placer::finish`] time), then
+/// split it back into the builder and the finished map.
+#[derive(Debug)]
+pub struct Placer {
+    b: MemoryBuilder,
+    cfg: PlacementConfig,
+    regions: Vec<Region>,
+}
+
+impl Placer {
+    /// Wrap `builder` with placement `cfg`. Co-resident lock placement
+    /// takes effect immediately (it flips the builder's isolation
+    /// padding), so locks allocated later through
+    /// [`Placer::builder_mut`] obey it too.
+    pub fn new(mut builder: MemoryBuilder, cfg: PlacementConfig) -> Self {
+        builder.set_pack_isolated(cfg.lock_coresident);
+        Placer { b: builder, cfg, regions: Vec::new() }
+    }
+
+    /// The placement this placer applies.
+    pub fn config(&self) -> PlacementConfig {
+        self.cfg
+    }
+
+    /// The wrapped builder, for allocations the placer does not manage
+    /// (scheme and lock construction).
+    pub fn builder_mut(&mut self) -> &mut MemoryBuilder {
+        &mut self.b
+    }
+
+    /// Allocate one metadata word (root pointer, head, tail). Isolated on
+    /// its own line unless the policy is [`PlacementPolicy::Packed`].
+    pub fn meta(&mut self, name: &str, init: u64) -> VarId {
+        let var = match self.cfg.policy {
+            PlacementPolicy::Packed => self.b.alloc(init),
+            _ => {
+                // Force real isolation even when lock co-residency packed
+                // the builder: metadata keeps its line under non-packed
+                // policies.
+                let packed = self.cfg.lock_coresident;
+                if packed {
+                    self.b.set_pack_isolated(false);
+                }
+                let v = self.b.alloc_isolated(init);
+                if packed {
+                    self.b.set_pack_isolated(true);
+                }
+                v
+            }
+        };
+        self.regions.push(Region {
+            name: name.to_string(),
+            role: VarRole::Meta,
+            stride: 1,
+            bases: vec![var.index()],
+        });
+        var
+    }
+
+    /// Allocate `count` records of `stride` words each under the policy,
+    /// all words initialized to `init`.
+    pub fn records(
+        &mut self,
+        name: &str,
+        role: VarRole,
+        count: usize,
+        stride: u32,
+        init: u64,
+    ) -> RecordArena {
+        assert!(count > 0 && stride > 0, "region {name} must have records");
+        let wpl = self.b.line_width() as u32;
+        let arena = match self.cfg.policy {
+            PlacementPolicy::Packed => {
+                let base = self.b.len() as u32;
+                self.b.alloc_array(count * stride as usize, init);
+                RecordArena::contiguous(base, stride)
+            }
+            PlacementPolicy::Padded => {
+                self.pad_cursor();
+                let pitch = stride.div_ceil(wpl) * wpl;
+                let base = self.b.len() as u32;
+                self.b.alloc_array(count * pitch as usize, init);
+                RecordArena::contiguous(base, pitch)
+            }
+            PlacementPolicy::IndexAware => {
+                let (slots, per_line, line_words, base) = self.slot_grid(count, stride, init);
+                // Block-cyclic: record i lands in block (i mod blocks), so
+                // adjacent indices sit on different lines.
+                let blocks = slots / per_line;
+                let bases = (0..count)
+                    .map(|i| {
+                        let slot = (i % blocks) * per_line + i / blocks;
+                        base + (slot / per_line) as u32 * line_words
+                            + (slot % per_line) as u32 * stride
+                    })
+                    .collect();
+                RecordArena::mapped(bases, stride)
+            }
+            PlacementPolicy::Randomized(seed) => {
+                let (slots, per_line, line_words, base) = self.slot_grid(count, stride, init);
+                let mut order: Vec<usize> = (0..slots).collect();
+                let mut rng = DetRng::new(seed, 0x9_1ACE);
+                for i in (1..slots).rev() {
+                    order.swap(i, rng.below(i as u64 + 1) as usize);
+                }
+                let bases = (0..count)
+                    .map(|i| {
+                        let slot = order[i];
+                        base + (slot / per_line) as u32 * line_words
+                            + (slot % per_line) as u32 * stride
+                    })
+                    .collect();
+                RecordArena::mapped(bases, stride)
+            }
+        };
+        self.regions.push(Region {
+            name: name.to_string(),
+            role,
+            stride,
+            bases: arena.bases(count),
+        });
+        arena
+    }
+
+    /// Line-align the cursor regardless of the lock-co-residency packing
+    /// (that flag only targets isolation requests, not arena starts).
+    fn pad_cursor(&mut self) {
+        let packed = self.cfg.lock_coresident;
+        if packed {
+            self.b.set_pack_isolated(false);
+        }
+        self.b.pad_to_line();
+        if packed {
+            self.b.set_pack_isolated(true);
+        }
+    }
+
+    /// Allocate the line-aligned slot grid shared by the scattered
+    /// policies: `ceil(count / per_line)` blocks of `line_words` words,
+    /// each block holding `per_line` record slots. Returns
+    /// `(total_slots, per_line, line_words, base)`.
+    fn slot_grid(&mut self, count: usize, stride: u32, init: u64) -> (usize, usize, u32, u32) {
+        let wpl = self.b.line_width() as u32;
+        let per_line = (wpl / stride).max(1) as usize;
+        let line_words = if stride > wpl { stride.div_ceil(wpl) * wpl } else { wpl };
+        let blocks = count.div_ceil(per_line);
+        self.pad_cursor();
+        let base = self.b.len() as u32;
+        // Every slot word gets `init` (slack between slots is never
+        // addressed, so over-initializing it is harmless).
+        self.b.alloc_array(blocks * line_words as usize, init);
+        (blocks * per_line, per_line, line_words, base)
+    }
+
+    /// Capture lock words allocated through the builder as lock regions
+    /// and split into the builder (ready to freeze) and the layout map.
+    pub fn finish(mut self) -> (MemoryBuilder, LayoutMap) {
+        for (k, var) in self.b.registered_lock_words().to_vec().iter().enumerate() {
+            self.regions.push(Region {
+                name: format!("lock[{k}]"),
+                role: VarRole::Lock,
+                stride: 1,
+                bases: vec![var.index()],
+            });
+        }
+        let map = LayoutMap::new(self.b.line_width() as u32, self.b.len() as u32, self.regions);
+        (self.b, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placer(policy: PlacementPolicy, wpl: usize) -> Placer {
+        Placer::new(MemoryBuilder::new().words_per_line(wpl), PlacementConfig::new(policy))
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<&str> = PlacementPolicy::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, ["packed", "padded", "index-aware", "randomized"]);
+        assert_eq!(PlacementConfig::packed().label(), "packed+lockco");
+        assert_eq!(PlacementConfig::padded().label(), "padded");
+    }
+
+    #[test]
+    fn padded_records_never_share_lines() {
+        let mut p = placer(PlacementPolicy::Padded, 8);
+        let arena = p.records("r", VarRole::Data, 5, 3, 0);
+        let (_, map) = p.finish();
+        let mut lines: Vec<u32> = (0..5).map(|i| map.line_of(arena.word(i, 0))).collect();
+        for i in 0..5u64 {
+            for f in 0..3 {
+                assert_eq!(map.line_of(arena.word(i, f)), lines[i as usize]);
+            }
+        }
+        lines.sort_unstable();
+        lines.dedup();
+        assert_eq!(lines.len(), 5, "each record owns its line(s)");
+    }
+
+    #[test]
+    fn packed_records_share_lines() {
+        let mut p = placer(PlacementPolicy::Packed, 8);
+        let arena = p.records("r", VarRole::Data, 4, 3, 0);
+        let (_, map) = p.finish();
+        assert_eq!(map.line_of(arena.word(0, 0)), map.line_of(arena.word(1, 0)));
+    }
+
+    #[test]
+    fn index_aware_separates_adjacent_records() {
+        let mut p = placer(PlacementPolicy::IndexAware, 8);
+        let arena = p.records("r", VarRole::Data, 12, 2, 0);
+        let (_, map) = p.finish();
+        for i in 0..11u64 {
+            assert_ne!(
+                map.line_of(arena.word(i, 0)),
+                map.line_of(arena.word(i + 1, 0)),
+                "adjacent records {i},{} must not share a line",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn scattered_policies_are_bijections() {
+        for policy in [PlacementPolicy::IndexAware, PlacementPolicy::Randomized(7)] {
+            let mut p = placer(policy, 8);
+            let arena = p.records("r", VarRole::Data, 13, 3, 5);
+            let (b, map) = p.finish();
+            let mem = b.freeze(1);
+            let mut bases: Vec<u32> = (0..13).map(|i| arena.word(i, 0).index()).collect();
+            bases.sort_unstable();
+            bases.dedup();
+            assert_eq!(bases.len(), 13, "{policy:?} must not alias records");
+            for i in 0..13u64 {
+                for f in 0..3 {
+                    let v = arena.word(i, f);
+                    assert_eq!(mem.read_direct(v), 5, "{policy:?} init must reach every field");
+                    assert_eq!(
+                        map.resolve(v.index()).expect("record word resolves").record,
+                        i as u32
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_is_seed_deterministic() {
+        let build = |seed| {
+            let mut p = placer(PlacementPolicy::Randomized(seed), 8);
+            let arena = p.records("r", VarRole::Data, 10, 2, 0);
+            (0..10).map(|i| arena.word(i, 0).index()).collect::<Vec<_>>()
+        };
+        assert_eq!(build(1), build(1));
+        assert_ne!(build(1), build(2), "different seeds should differ for 10 records");
+    }
+
+    #[test]
+    fn resolve_roundtrips_and_padding_is_unmapped() {
+        let mut p = placer(PlacementPolicy::Padded, 8);
+        let head = p.meta("head", 9);
+        let arena = p.records("node", VarRole::Data, 3, 2, 0);
+        let (b, map) = p.finish();
+        assert_eq!(b.line_width(), 8);
+        let r = map.resolve(head.index()).expect("meta resolves");
+        assert_eq!((r.name, r.role, r.record, r.field), ("head", VarRole::Meta, 0, 0));
+        let r = map.resolve(arena.word(2, 1).index()).expect("field resolves");
+        assert_eq!((r.name, r.record, r.field), ("node", 2, 1));
+        // The padding word right after the meta word belongs to nothing.
+        assert_eq!(map.resolve(head.index() + 1), None);
+    }
+
+    #[test]
+    fn finish_captures_lock_words_as_regions() {
+        let mut p = placer(PlacementPolicy::Padded, 8);
+        let _head = p.meta("head", 0);
+        let lock = p.builder_mut().alloc_lock_word(0);
+        let (_, map) = p.finish();
+        let r = map.resolve(lock.index()).expect("lock resolves");
+        assert_eq!((r.name, r.role), ("lock[0]", VarRole::Lock));
+        assert_eq!(map.lock_lines(), vec![map.line_of(lock)]);
+    }
+
+    #[test]
+    fn coresident_locks_share_data_lines() {
+        let mut p = Placer::new(MemoryBuilder::new().words_per_line(8), PlacementConfig::packed());
+        let arena = p.records("node", VarRole::Data, 3, 2, 0);
+        let lock = p.builder_mut().alloc_lock_word(0);
+        let (b, map) = p.finish();
+        let mem = b.freeze(1);
+        assert_eq!(map.line_of(lock), map.line_of(arena.word(2, 1)));
+        assert!(mem.is_lock_line(mem.line_of(arena.word(2, 1)).raw()));
+    }
+
+    #[test]
+    fn layout_line_count_matches_memory() {
+        for policy in PlacementPolicy::ALL {
+            let mut p = placer(policy, 8);
+            let _ = p.meta("m", 0);
+            let _ = p.records("r", VarRole::Data, 9, 3, 0);
+            let (b, map) = p.finish();
+            let mem = b.freeze(1);
+            assert_eq!(map.words() as usize, mem.words());
+            assert_eq!(map.line_count() as usize, mem.line_count());
+        }
+    }
+}

@@ -16,7 +16,8 @@ use crate::lineset::{LineSet, WriteBuf};
 use crate::memory::{LineId, Memory, VarId};
 use crate::sanitize::SanAccess;
 use elision_sim::{
-    AbortCause, CauseSlotRecorder, DetRng, OpCounters, SimHandle, TraceEvent, TraceRing,
+    AbortCause, CauseSlotRecorder, ConflictLineHistogram, DetRng, OpCounters, SimHandle,
+    TraceEvent, TraceRing,
 };
 use std::sync::Arc;
 
@@ -84,6 +85,10 @@ pub struct Strand {
     /// [`Strand::enable_cause_slots`]); complements the aggregate
     /// histogram in `counters.causes`.
     pub cause_slots: Option<CauseSlotRecorder>,
+    /// Optional histogram of conflict-abort cache lines (see
+    /// [`Strand::enable_conflict_lines`]); the dynamic side of the static
+    /// advisor's hot-line cross-validation.
+    pub conflict_lines: Option<ConflictLineHistogram>,
 }
 
 impl Strand {
@@ -113,6 +118,7 @@ impl Strand {
             counters: OpCounters::new(),
             trace: None,
             cause_slots: None,
+            conflict_lines: None,
         }
     }
 
@@ -132,6 +138,13 @@ impl Strand {
     /// Panics if `slot_cycles` is zero.
     pub fn enable_cause_slots(&mut self, slot_cycles: u64) {
         self.cause_slots = Some(CauseSlotRecorder::new(slot_cycles));
+    }
+
+    /// Start recording the cache line of every abort that carries a
+    /// conflict-line attribution (see [`ConflictLineHistogram`]); any
+    /// previous histogram is replaced.
+    pub fn enable_conflict_lines(&mut self) {
+        self.conflict_lines = Some(ConflictLineHistogram::new());
     }
 
     fn trace_event(&mut self, ev: TraceEvent) {
@@ -425,6 +438,11 @@ impl Strand {
         self.counters.causes.record(cause);
         if let Some(rec) = self.cause_slots.as_mut() {
             rec.record(self.sim.now(), cause);
+        }
+        if let Some(rec) = self.conflict_lines.as_mut() {
+            if let Some(line) = status.conflict_line {
+                rec.record(line);
+            }
         }
         self.trace_event(TraceEvent::TxnAbort(cause));
         self.san(SanAccess::TxnAbort { cause });

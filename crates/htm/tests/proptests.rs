@@ -1,6 +1,8 @@
 //! Property-based tests of the HTM substrate.
 
-use elision_htm::{harness, HtmConfig, MemoryBuilder, VarId};
+use elision_htm::{
+    harness, HtmConfig, MemoryBuilder, PlacementConfig, PlacementPolicy, Placer, VarId, VarRole,
+};
 use proptest::prelude::*;
 
 /// One step of a random single-threaded transactional program.
@@ -155,5 +157,68 @@ proptest! {
         });
         prop_assert_eq!(mem.read_direct(counter), threads as u64 * ops);
         prop_assert!(!mem.any_residual_bits());
+    }
+}
+
+fn policy_strategy() -> impl Strategy<Value = PlacementPolicy> {
+    prop_oneof![
+        Just(PlacementPolicy::Packed),
+        Just(PlacementPolicy::Padded),
+        Just(PlacementPolicy::IndexAware),
+        any::<u64>().prop_map(PlacementPolicy::Randomized),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential check of the two line-assignment implementations:
+    /// the static [`LayoutMap`] the placement layer hands to the
+    /// analysis code, and the memory's own hot-path [`Memory::line_of`]
+    /// (a shift for power-of-two line widths, a division otherwise).
+    /// They must agree for every allocated word under every policy,
+    /// stride, and line width — including non-power-of-two widths.
+    #[test]
+    fn layout_map_matches_memory_line_of(
+        wpl in 1usize..17,
+        policy in policy_strategy(),
+        lockco in any::<bool>(),
+        regions in prop::collection::vec((1u32..7, 1usize..10), 1..4),
+        metas in 0usize..3,
+    ) {
+        let b = MemoryBuilder::new().words_per_line(wpl);
+        let cfg = PlacementConfig::new(policy).with_coresident_locks(lockco);
+        let mut p = Placer::new(b, cfg);
+        let mut meta_vars = Vec::new();
+        for m in 0..metas {
+            meta_vars.push(p.meta(&format!("meta{m}"), 0));
+        }
+        let mut arenas = Vec::new();
+        for (i, &(stride, count)) in regions.iter().enumerate() {
+            arenas.push((p.records(&format!("r{i}"), VarRole::Data, count, stride, 0), count, stride));
+        }
+        let (b, layout) = p.finish();
+        prop_assert_eq!(layout.words_per_line(), wpl as u32);
+        let mem = b.freeze(1);
+        // Every word: the static map and the hot path agree.
+        for w in 0..layout.words() {
+            prop_assert_eq!(
+                mem.line_of(VarId::from_index(w)).raw(),
+                layout.line_of_word(w),
+                "word {} under wpl {}", w, wpl
+            );
+        }
+        // Every placed variable resolves back to its own line.
+        for v in &meta_vars {
+            prop_assert_eq!(mem.line_of(*v).raw(), layout.line_of(*v));
+        }
+        for (arena, count, stride) in &arenas {
+            for r in 0..*count as u64 {
+                for f in 0..*stride {
+                    let v = arena.word(r, f);
+                    prop_assert_eq!(mem.line_of(v).raw(), layout.line_of(v));
+                }
+            }
+        }
     }
 }

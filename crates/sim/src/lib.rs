@@ -59,7 +59,7 @@ pub use fault::{FaultPlan, FaultStats, PreemptSpec};
 pub use rng::DetRng;
 pub use sched::{Scheduler, SimHandle};
 pub use slots::{CauseSlotRecorder, CauseSlotSeries, SlotRecorder, SlotSeries};
-pub use stats::{AbortCause, AttemptKind, CauseHistogram, OpCounters};
+pub use stats::{AbortCause, AttemptKind, CauseHistogram, ConflictLineHistogram, OpCounters};
 pub use trace::{GlobalEvent, GlobalTrace, TraceEvent, TraceRing};
 
 use std::sync::atomic::{AtomicUsize, Ordering};

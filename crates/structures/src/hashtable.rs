@@ -2,7 +2,7 @@
 //! benchmark; its transactions are always short, "zooming in" on the
 //! short-transaction end of the red-black-tree workload spectrum).
 
-use elision_htm::{Memory, MemoryBuilder, Strand, TxResult, VarId};
+use elision_htm::{Memory, MemoryBuilder, Placer, RecordArena, Strand, TxResult, VarId, VarRole};
 
 const KEY: u32 = 0;
 const VALUE: u32 = 1;
@@ -14,13 +14,15 @@ const NONE: u64 = u64::MAX;
 /// A fixed-bucket chained hash table mapping `u64` keys to `u64` values.
 #[derive(Debug, Clone)]
 pub struct HashTable {
-    /// Bucket heads (node index or `NONE`), one var per bucket, spread
-    /// over distinct lines in groups of `words_per_line`.
-    buckets: VarId,
+    /// Bucket heads (node index or `NONE`), one single-word record per
+    /// bucket (contiguous under [`HashTable::new`], placement-policy
+    /// controlled under [`HashTable::new_placed`]).
+    buckets: RecordArena,
     n_buckets: usize,
     /// Per-thread free-list heads.
     free: Vec<VarId>,
-    base: u32,
+    /// The node arena.
+    arena: RecordArena,
     cap: usize,
 }
 
@@ -34,12 +36,36 @@ impl HashTable {
     pub fn new(b: &mut MemoryBuilder, n_buckets: usize, capacity: usize, threads: usize) -> Self {
         assert!(n_buckets > 0 && capacity > 0 && threads > 0);
         b.pad_to_line();
-        let buckets = b.alloc_array(n_buckets, NONE);
+        let buckets = RecordArena::contiguous(b.alloc_array(n_buckets, NONE).index(), 1);
         b.pad_to_line();
         let base = b.len() as u32;
         b.alloc_array(capacity * STRIDE as usize, 0);
         let free: Vec<VarId> = (0..threads).map(|_| b.alloc_isolated(NONE)).collect();
-        HashTable { buckets, n_buckets, free, base, cap: capacity }
+        HashTable {
+            buckets,
+            n_buckets,
+            free,
+            arena: RecordArena::contiguous(base, STRIDE),
+            cap: capacity,
+        }
+    }
+
+    /// Like [`HashTable::new`], but every allocation goes through `p`'s
+    /// placement policy: bucket heads as a `"hash.bucket"` record region
+    /// (one word per record — packed policies co-locate many buckets per
+    /// line, padded isolates each), nodes as `"hash.node"`, and the
+    /// per-thread free-list heads as one `"hash.free"` region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn new_placed(p: &mut Placer, n_buckets: usize, capacity: usize, threads: usize) -> Self {
+        assert!(n_buckets > 0 && capacity > 0 && threads > 0);
+        let buckets = p.records("hash.bucket", VarRole::Data, n_buckets, 1, NONE);
+        let arena = p.records("hash.node", VarRole::Data, capacity, STRIDE, 0);
+        let free_arena = p.records("hash.free", VarRole::Meta, threads, 1, NONE);
+        let free = (0..threads as u64).map(|t| free_arena.word(t, 0)).collect();
+        HashTable { buckets, n_buckets, free, arena, cap: capacity }
     }
 
     /// Chain the free lists; call once after freezing, before use.
@@ -62,13 +88,18 @@ impl HashTable {
     }
 
     fn field(&self, node: u64, f: u32) -> VarId {
-        VarId::from_index(self.base + node as u32 * STRIDE + f)
+        self.arena.word(node, f)
+    }
+
+    /// The bucket index `key` hashes to (Fibonacci hashing spreads
+    /// sequential keys across buckets). Public so workload generators
+    /// can construct bucket-disjoint key sets.
+    pub fn bucket_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.n_buckets
     }
 
     fn bucket_var(&self, key: u64) -> VarId {
-        // Fibonacci hashing spreads sequential keys across buckets.
-        let h = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.n_buckets;
-        VarId::from_index(self.buckets.index() + h as u32)
+        self.buckets.word(self.bucket_of(key) as u64, 0)
     }
 
     fn alloc_node(&self, s: &mut Strand, key: u64, value: u64) -> TxResult<u64> {
@@ -208,8 +239,8 @@ impl HashTable {
     /// Collect all `(key, value)` pairs via direct reads (quiescent only).
     pub fn collect(&self, mem: &Memory) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
-        for bkt in 0..self.n_buckets as u32 {
-            let mut n = mem.read_direct(VarId::from_index(self.buckets.index() + bkt));
+        for bkt in 0..self.n_buckets as u64 {
+            let mut n = mem.read_direct(self.buckets.word(bkt, 0));
             while n != NONE {
                 out.push((
                     mem.read_direct(self.field(n, KEY)),

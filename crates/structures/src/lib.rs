@@ -316,6 +316,75 @@ mod tests {
     }
 
     #[test]
+    fn placed_structures_behave_under_every_policy() {
+        use elision_htm::{PlacementConfig, PlacementPolicy, Placer};
+        for policy in PlacementPolicy::ALL {
+            for lockco in [false, true] {
+                let cfg = PlacementConfig::new(policy).with_coresident_locks(lockco);
+                let mut p = Placer::new(MemoryBuilder::new(), cfg);
+                let tree = RbTree::new_placed(&mut p, 64, 2);
+                let list = SortedList::new_placed(&mut p, 32, 2);
+                let table = HashTable::new_placed(&mut p, 8, 64, 2);
+                let q = SimQueue::new_placed(&mut p, 8);
+                let scheme = make_scheme(
+                    SchemeKind::Hle,
+                    LockKind::Ttas,
+                    SchemeConfig::paper(),
+                    p.builder_mut(),
+                    2,
+                );
+                let (b, layout) = p.finish();
+                let mem = b.freeze(2);
+                assert_eq!(layout.words() as usize, mem.words(), "{policy:?}");
+                tree.init(&mem);
+                list.init(&mem);
+                table.init(&mem);
+                let (t, l, h, qq) = (tree.clone(), list.clone(), table.clone(), q.clone());
+                let (results, mem, _) =
+                    harness::run(2, 0, HtmConfig::deterministic(), 9, mem, move |s| {
+                        let mut delta = 0i64;
+                        for _ in 0..60 {
+                            let key = s.rng.below(48);
+                            let grow = key % 2 == 0;
+                            let out = scheme.execute(s, |s| {
+                                if grow {
+                                    t.insert(s, key)
+                                } else {
+                                    t.remove(s, key)
+                                }
+                            });
+                            if out.value {
+                                delta += if grow { 1 } else { -1 };
+                            }
+                            scheme.execute(s, |s| {
+                                let _ = l.insert(s, key % 16)?;
+                                let _ = h.put(s, key, key + 1)?;
+                                let _ = qq.push(s, key)?;
+                                let _ = qq.pop(s)?;
+                                Ok::<_, elision_htm::Abort>(())
+                            });
+                        }
+                        delta
+                    });
+                let expected: i64 = results.iter().sum();
+                let n = tree
+                    .validate(&mem)
+                    .unwrap_or_else(|e| panic!("{policy:?} lockco={lockco}: {e}"));
+                assert_eq!(n as i64, expected, "{policy:?} lockco={lockco}");
+                for (k, v) in table.collect(&mem) {
+                    assert_eq!(v, k + 1, "{policy:?} lockco={lockco}");
+                }
+                let lock_lines = layout.lock_lines();
+                assert!(!lock_lines.is_empty(), "scheme lock must appear in the layout");
+                assert!(
+                    lock_lines.iter().all(|&line| mem.is_lock_line(line)),
+                    "{policy:?}: layout lock lines must agree with the frozen memory"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn doomed_traversal_unwinds_cleanly() {
         // Failure injection: dooming a transaction mid-traversal must not
         // corrupt the tree or hang the traverser.

@@ -3,7 +3,7 @@
 //! elision schemes (every writer conflicts with every reader that passed
 //! the same prefix).
 
-use elision_htm::{Memory, MemoryBuilder, Strand, TxResult, VarId};
+use elision_htm::{Memory, MemoryBuilder, Placer, RecordArena, Strand, TxResult, VarId, VarRole};
 
 const KEY: u32 = 0;
 const NEXT: u32 = 1;
@@ -16,7 +16,7 @@ const NONE: u64 = u64::MAX;
 pub struct SortedList {
     head: VarId,
     free: Vec<VarId>,
-    base: u32,
+    arena: RecordArena,
     cap: usize,
 }
 
@@ -34,7 +34,24 @@ impl SortedList {
         let base = b.len() as u32;
         b.alloc_array(capacity * STRIDE as usize, 0);
         let free: Vec<VarId> = (0..threads).map(|_| b.alloc_isolated(NONE)).collect();
-        SortedList { head, free, base, cap: capacity }
+        SortedList { head, free, arena: RecordArena::contiguous(base, STRIDE), cap: capacity }
+    }
+
+    /// Like [`SortedList::new`], but allocated through `p`'s placement
+    /// policy: the head as `"list.head"` metadata, nodes as a
+    /// `"list.node"` record region and the per-thread free-list heads as
+    /// one `"list.free"` region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `threads` is zero.
+    pub fn new_placed(p: &mut Placer, capacity: usize, threads: usize) -> Self {
+        assert!(capacity > 0 && threads > 0);
+        let head = p.meta("list.head", NONE);
+        let arena = p.records("list.node", VarRole::Data, capacity, STRIDE, 0);
+        let free_arena = p.records("list.free", VarRole::Meta, threads, 1, NONE);
+        let free = (0..threads as u64).map(|t| free_arena.word(t, 0)).collect();
+        SortedList { head, free, arena, cap: capacity }
     }
 
     /// Chain the free lists; call once after freezing, before use.
@@ -52,7 +69,7 @@ impl SortedList {
     }
 
     fn field(&self, node: u64, f: u32) -> VarId {
-        VarId::from_index(self.base + node as u32 * STRIDE + f)
+        self.arena.word(node, f)
     }
 
     fn alloc_node(&self, s: &mut Strand, key: u64) -> TxResult<u64> {

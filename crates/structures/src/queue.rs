@@ -1,7 +1,7 @@
 //! A transactional bounded FIFO queue (ring buffer), used by the
 //! STAMP-style `intruder` kernel's packet pipeline.
 
-use elision_htm::{Memory, MemoryBuilder, Strand, TxResult, VarId};
+use elision_htm::{Memory, MemoryBuilder, Placer, RecordArena, Strand, TxResult, VarId, VarRole};
 
 /// A bounded FIFO of `u64` values over simulated memory.
 ///
@@ -13,7 +13,7 @@ use elision_htm::{Memory, MemoryBuilder, Strand, TxResult, VarId};
 pub struct SimQueue {
     head: VarId,
     tail: VarId,
-    slots: VarId,
+    slots: RecordArena,
     cap: usize,
 }
 
@@ -28,13 +28,29 @@ impl SimQueue {
         let head = b.alloc_isolated(0);
         let tail = b.alloc_isolated(0);
         b.pad_to_line();
-        let slots = b.alloc_array(capacity, 0);
+        let slots = RecordArena::contiguous(b.alloc_array(capacity, 0).index(), 1);
         b.pad_to_line();
         SimQueue { head, tail, slots, cap: capacity }
     }
 
+    /// Like [`SimQueue::new`], but allocated through `p`'s placement
+    /// policy: head/tail as `"queue.head"`/`"queue.tail"` metadata and
+    /// the ring slots as a `"queue.slot"` record region (one word per
+    /// record).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new_placed(p: &mut Placer, capacity: usize) -> Self {
+        assert!(capacity > 0);
+        let head = p.meta("queue.head", 0);
+        let tail = p.meta("queue.tail", 0);
+        let slots = p.records("queue.slot", VarRole::Data, capacity, 1, 0);
+        SimQueue { head, tail, slots, cap: capacity }
+    }
+
     fn slot(&self, pos: u64) -> VarId {
-        VarId::from_index(self.slots.index() + (pos % self.cap as u64) as u32)
+        self.slots.word(pos % self.cap as u64, 0)
     }
 
     /// Append `value`; returns `false` when full.

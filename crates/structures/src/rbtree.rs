@@ -15,7 +15,7 @@
 //! speculative inserts on the allocator and mask the effects being
 //! measured.
 
-use elision_htm::{Memory, MemoryBuilder, Strand, TxResult, VarId};
+use elision_htm::{Memory, MemoryBuilder, Placer, RecordArena, Strand, TxResult, VarId, VarRole};
 
 const KEY: u32 = 0;
 const LEFT: u32 = 1;
@@ -35,8 +35,9 @@ pub struct RbTree {
     root: VarId,
     /// Per-thread free-list heads.
     free: Vec<VarId>,
-    /// First word of the node arena.
-    base: u32,
+    /// The node arena (contiguous for [`RbTree::new`]; placement-policy
+    /// controlled for [`RbTree::new_placed`]).
+    arena: RecordArena,
     /// Number of usable nodes (the sentinel is node `cap`).
     cap: usize,
     /// Sentinel node index.
@@ -58,7 +59,8 @@ impl RbTree {
         b.alloc_array((capacity + 1) * STRIDE as usize, 0);
         let root = b.alloc_isolated(capacity as u64);
         let free: Vec<VarId> = (0..threads).map(|_| b.alloc_isolated(u64::MAX)).collect();
-        let tree = RbTree { root, free, base, cap: capacity, nil: capacity as u64 };
+        let arena = RecordArena::contiguous(base, STRIDE);
+        let tree = RbTree { root, free, arena, cap: capacity, nil: capacity as u64 };
         // Build the initial free lists directly (pre-run setup):
         // round-robin nodes across the per-thread pools, chained via LEFT.
         // We cannot use a Strand yet, so thread the lists through the
@@ -67,6 +69,25 @@ impl RbTree {
         // MemoryBuilder has no post-alloc writes, so the chain is encoded
         // by `init_freelists` after freezing.
         tree
+    }
+
+    /// Like [`RbTree::new`], but every allocation goes through `p`'s
+    /// placement policy: nodes as a `"rbtree.node"` record region, the
+    /// root as `"rbtree.root"` metadata and the per-thread free-list
+    /// heads as one `"rbtree.free"` record region (so the static advisor
+    /// can reason about pool heads collectively — which thread's pool an
+    /// allocation hits is scheduling-dependent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `threads` is zero.
+    pub fn new_placed(p: &mut Placer, capacity: usize, threads: usize) -> Self {
+        assert!(capacity > 0 && threads > 0);
+        let arena = p.records("rbtree.node", VarRole::Data, capacity + 1, STRIDE, 0);
+        let root = p.meta("rbtree.root", capacity as u64);
+        let free_arena = p.records("rbtree.free", VarRole::Meta, threads, 1, u64::MAX);
+        let free = (0..threads as u64).map(|t| free_arena.word(t, 0)).collect();
+        RbTree { root, free, arena, cap: capacity, nil: capacity as u64 }
     }
 
     /// Finish setup after the memory is frozen: chain the free lists and
@@ -99,7 +120,7 @@ impl RbTree {
 
     fn field(&self, node: u64, f: u32) -> VarId {
         debug_assert!(node <= self.nil, "node index out of range");
-        VarId::from_index(self.base + node as u32 * STRIDE + f)
+        self.arena.word(node, f)
     }
 
     fn get(&self, s: &mut Strand, node: u64, f: u32) -> TxResult<u64> {
