@@ -130,6 +130,7 @@ fn main() {
     let mut total_rows = 0u64;
     let mut cause_totals = vec![0u64; AbortCause::ALL.len()];
     let mut lint_totals = vec![0u64; LintId::ALL.len()];
+    let mut service_cells: Vec<Json> = Vec::new();
     for path in &paths {
         let text = fs::read_to_string(path)
             .unwrap_or_else(|e| fail(&format!("reading {}: {e}", path.display())));
@@ -155,6 +156,31 @@ fn main() {
                         }
                     }
                 }
+            }
+            // The open-loop service report (SERVICE.json) carries tail
+            // percentiles per cell; surface them in the summary so the
+            // latency trajectory rides alongside the abort causes.
+            if binary == "SERVICE" {
+                let latency = row.get("latency");
+                let pick =
+                    |k: &str| latency.and_then(|l| l.get(k)).and_then(Json::as_u64).unwrap_or(0);
+                let cell = format!(
+                    "{}/{}/{}/{}",
+                    row.get("scheme").and_then(Json::as_str).unwrap_or("?"),
+                    row.get("lock").and_then(Json::as_str).unwrap_or("?"),
+                    row.get("shards").and_then(Json::as_u64).unwrap_or(0),
+                    row.get("load").and_then(Json::as_str).unwrap_or("?"),
+                );
+                service_cells.push(Json::obj(vec![
+                    ("cell", Json::Str(cell)),
+                    ("p50", Json::Uint(pick("p50"))),
+                    ("p99", Json::Uint(pick("p99"))),
+                    ("p999", Json::Uint(pick("p999"))),
+                    (
+                        "lock_word_aborts",
+                        Json::Uint(row.get("lock_word_aborts").and_then(Json::as_u64).unwrap_or(0)),
+                    ),
+                ]));
             }
         }
         total_rows += rows.len() as u64;
@@ -191,6 +217,23 @@ fn main() {
                     .map(|(l, &n)| (l.label().to_string(), Json::Uint(n)))
                     .collect(),
             ),
+        ),
+        (
+            "service_tail_latency",
+            Json::obj(vec![
+                ("cells", Json::Uint(service_cells.len() as u64)),
+                (
+                    "worst_p999",
+                    Json::Uint(
+                        service_cells
+                            .iter()
+                            .filter_map(|c| c.get("p999").and_then(Json::as_u64))
+                            .max()
+                            .unwrap_or(0),
+                    ),
+                ),
+                ("percentiles", Json::Arr(service_cells)),
+            ]),
         ),
     ]);
     let out = dir.join(SUMMARY_NAME);

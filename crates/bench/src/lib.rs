@@ -14,6 +14,7 @@ pub mod chaos;
 pub mod cli;
 pub mod metrics;
 pub mod report;
+pub mod servicebench;
 pub mod sweep;
 pub mod treebench;
 

@@ -59,7 +59,7 @@ pub use factory::{make_grouped_scm, make_lock, make_scheme, make_scheme_with_aux
 pub use scheme::{
     BackoffPolicy, BreakerConfig, ExecOutcome, Scheme, SchemeConfig, SchemeError, SchemeKind,
 };
-pub use watchdog::Watchdog;
+pub use watchdog::{LatencyHistogram, Watchdog};
 
 #[cfg(test)]
 mod tests {

@@ -7,9 +7,180 @@
 //! elapsed; it tracks the worst case, flags budget violations, and can
 //! report completion-time percentiles for degradation curves.
 //!
+//! Completion times are held in a bounded [`LatencyHistogram`] rather
+//! than a raw sample vector, so the open-loop service engine can record
+//! millions of requests at fixed memory and query percentiles in
+//! O(buckets) instead of re-sorting every sample per query.
+//!
 //! The watchdog is plain data owned by the measuring thread (merge
 //! per-thread instances afterwards with [`Watchdog::merge`]); it adds no
 //! synchronization to the measured path.
+
+/// Number of sub-buckets per octave, as a power of two: 2^7 = 128
+/// sub-buckets give a guaranteed relative error below 1/128 < 1%.
+const PRECISION_BITS: u32 = 7;
+/// Sub-buckets per octave.
+const SUB_BUCKETS: u64 = 1 << PRECISION_BITS;
+/// Values below `EXACT_LIMIT` get a unit-width bucket each (no error).
+const EXACT_LIMIT: u64 = 1 << (PRECISION_BITS + 1);
+/// First octave that needs sub-bucketing (values >= `EXACT_LIMIT`).
+const FIRST_OCTAVE: u32 = PRECISION_BITS + 1;
+/// Total bucket count: the exact region plus `SUB_BUCKETS` per octave
+/// for every octave up to 2^63.
+const BUCKETS: usize = (EXACT_LIMIT + (64 - FIRST_OCTAVE as u64) * SUB_BUCKETS) as usize;
+
+/// A bounded log-bucketed (HDR-style) histogram of `u64` samples.
+///
+/// Values below 256 land in exact unit-width buckets; larger values are
+/// bucketed with 128 sub-buckets per power-of-two octave, so any
+/// reported quantile is within **1% relative error** of the true sample
+/// (error ≤ 1/128 ≈ 0.78%, and the reported value never exceeds the
+/// true maximum). Memory is a fixed ~7.4k-bucket array regardless of
+/// how many samples are recorded, and [`LatencyHistogram::merge`] is
+/// exact — bucket boundaries are identical across instances, so merging
+/// per-thread histograms loses nothing over recording centrally.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    /// Exact extrema, tracked outside the buckets so `percentile(0)` /
+    /// `percentile(100)` stay exact and bucket upper bounds can be
+    /// clamped to values actually observed.
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { counts: vec![0; BUCKETS], total: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// The bucket index of `value`.
+    fn index(value: u64) -> usize {
+        if value < EXACT_LIMIT {
+            value as usize
+        } else {
+            let octave = 63 - value.leading_zeros();
+            let shift = octave - PRECISION_BITS;
+            let sub = (value >> shift) & (SUB_BUCKETS - 1);
+            (EXACT_LIMIT + (octave - FIRST_OCTAVE) as u64 * SUB_BUCKETS + sub) as usize
+        }
+    }
+
+    /// The largest value mapping to bucket `index` (the reported
+    /// representative, so quantiles never under-report).
+    fn upper_bound(index: usize) -> u64 {
+        let index = index as u64;
+        if index < EXACT_LIMIT {
+            index
+        } else {
+            let rel = index - EXACT_LIMIT;
+            let octave = FIRST_OCTAVE + (rel / SUB_BUCKETS) as u32;
+            let sub = rel % SUB_BUCKETS;
+            let shift = octave - PRECISION_BITS;
+            // OR in the low bits rather than adding: for the topmost
+            // bucket `(SUB_BUCKETS + sub + 1) << shift` is 2^64.
+            ((SUB_BUCKETS + sub) << shift) | ((1 << shift) - 1)
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::index(value)] += 1;
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The exact largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The exact smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// The `p`-th percentile (0..=100, nearest-rank over buckets);
+    /// `None` when empty. O(buckets), and within 1% relative error of
+    /// the exact nearest-rank sample value.
+    pub fn percentile(&self, p: u32) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        // Integer nearest-rank, matching the old sort-based
+        // implementation exactly (float quantiles can round the rank).
+        let p = u64::from(p.min(100));
+        Some(self.value_at_rank((p * self.total).div_ceil(100).max(1)))
+    }
+
+    /// The `q`-quantile for `q` in `[0, 1]` (nearest-rank over buckets);
+    /// `None` when empty. Supports tail quantiles finer than whole
+    /// percentiles, e.g. `quantile(0.999)` for p999.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        Some(self.value_at_rank(rank))
+    }
+
+    /// The representative value of the bucket holding the sample of the
+    /// given nearest-rank (1-based; caller guarantees `1 <= rank <=
+    /// total`).
+    fn value_at_rank(&self, rank: u64) -> u64 {
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp to the exact extrema: the true sample cannot lie
+                // outside [min, max] even when the bucket bound does.
+                return Self::upper_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one. Exact: both instances use
+    /// identical bucket boundaries, so the merged histogram equals the
+    /// histogram of the concatenated sample streams.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The non-empty buckets as `(upper_bound, count, cumulative)` rows
+    /// in increasing value order — the CDF the service reports serialize.
+    pub fn cdf(&self) -> Vec<(u64, u64, u64)> {
+        let mut rows = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                rows.push((Self::upper_bound(i).clamp(self.min, self.max), c, cum));
+            }
+        }
+        rows
+    }
+}
 
 /// Per-operation attempt/latency accounting with a starvation budget.
 #[derive(Debug, Clone)]
@@ -22,8 +193,8 @@ pub struct Watchdog {
     violations: u64,
     /// Total attempts across all recorded operations.
     total_attempts: u64,
-    /// Completion time (cycles) of every recorded operation.
-    cycles: Vec<u64>,
+    /// Completion times (cycles) of recorded operations, log-bucketed.
+    cycles: LatencyHistogram,
 }
 
 impl Watchdog {
@@ -35,7 +206,7 @@ impl Watchdog {
             max_attempts: 0,
             violations: 0,
             total_attempts: 0,
-            cycles: Vec::new(),
+            cycles: LatencyHistogram::new(),
         }
     }
 
@@ -47,17 +218,22 @@ impl Watchdog {
         if self.attempt_budget > 0 && attempts > self.attempt_budget {
             self.violations += 1;
         }
-        self.cycles.push(cycles);
+        self.cycles.record(cycles);
     }
 
     /// Operations recorded so far.
     pub fn operations(&self) -> u64 {
-        self.cycles.len() as u64
+        self.cycles.count()
     }
 
     /// Worst attempts observed for a single operation.
     pub fn max_attempts(&self) -> u32 {
         self.max_attempts
+    }
+
+    /// The attempt budget violations are judged against.
+    pub fn attempt_budget(&self) -> u32 {
+        self.attempt_budget
     }
 
     /// Operations that exceeded the attempt budget.
@@ -72,35 +248,43 @@ impl Watchdog {
 
     /// Mean attempts per operation (0.0 when nothing recorded).
     pub fn mean_attempts(&self) -> f64 {
-        if self.cycles.is_empty() {
+        if self.cycles.count() == 0 {
             0.0
         } else {
-            self.total_attempts as f64 / self.cycles.len() as f64
+            self.total_attempts as f64 / self.cycles.count() as f64
         }
     }
 
     /// The `p`-th percentile (0..=100, nearest-rank) of operation
-    /// completion cycles; `None` when nothing was recorded.
+    /// completion cycles; `None` when nothing was recorded. O(buckets)
+    /// per query, within 1% relative error of the exact sample (exact
+    /// for values below 256 — see [`LatencyHistogram`]).
     pub fn percentile(&self, p: u32) -> Option<u64> {
-        if self.cycles.is_empty() {
-            return None;
-        }
-        let mut sorted = self.cycles.clone();
-        sorted.sort_unstable();
-        let p = p.min(100) as usize;
-        // Nearest-rank: ceil(p/100 * n), clamped to [1, n], as an index.
-        let rank = (p * sorted.len()).div_ceil(100).max(1);
-        Some(sorted[rank - 1])
+        self.cycles.percentile(p)
+    }
+
+    /// The completion-time histogram (CDF rows, tail quantiles).
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.cycles
     }
 
     /// Fold another watchdog (e.g. a different thread's) into this one.
-    /// The attempt budget of `self` is kept; `other`'s violations were
-    /// judged against its own budget.
+    ///
+    /// Both watchdogs must use the same `attempt_budget`: summing
+    /// violation counts judged against different budgets would produce a
+    /// number with no meaning. Debug builds assert this; release builds
+    /// keep `self`'s budget for subsequent records.
     pub fn merge(&mut self, other: &Watchdog) {
+        debug_assert_eq!(
+            self.attempt_budget, other.attempt_budget,
+            "merging watchdogs with different attempt budgets ({} vs {}): \
+             their violation counts are judged against different lines",
+            self.attempt_budget, other.attempt_budget
+        );
         self.max_attempts = self.max_attempts.max(other.max_attempts);
         self.violations += other.violations;
         self.total_attempts += other.total_attempts;
-        self.cycles.extend_from_slice(&other.cycles);
+        self.cycles.merge(&other.cycles);
     }
 }
 
@@ -153,5 +337,167 @@ mod tests {
         assert_eq!(a.max_attempts(), 4);
         assert_eq!(a.violations(), 2);
         assert_eq!(a.percentile(100), Some(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "different attempt budgets")]
+    #[cfg(debug_assertions)]
+    fn merge_rejects_mismatched_budgets() {
+        let mut a = Watchdog::new(2);
+        a.merge(&Watchdog::new(3));
+    }
+
+    /// The old exact implementation, kept as the test oracle: sort the
+    /// raw samples, take nearest-rank.
+    fn exact_percentile(samples: &[u64], p: u32) -> Option<u64> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let p = p.min(100) as usize;
+        let rank = (p * sorted.len()).div_ceil(100).max(1);
+        Some(sorted[rank - 1])
+    }
+
+    #[test]
+    fn histogram_is_exact_below_256() {
+        // The unit-width bucket region reproduces the old Vec-based
+        // implementation bit for bit on small inputs — the equivalence
+        // the pre-rewrite tests relied on.
+        let samples: Vec<u64> = (0..200).map(|i| (i * 37 + 11) % 256).collect();
+        let mut w = Watchdog::new(0);
+        for &s in &samples {
+            w.record(1, s);
+        }
+        for p in 0..=100 {
+            assert_eq!(w.percentile(p), exact_percentile(&samples, p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn histogram_within_one_percent_of_exact() {
+        // Large samples across many octaves: every percentile must be
+        // within the documented 1% relative error of the exact
+        // nearest-rank value, and never above the true maximum.
+        let mut samples = Vec::new();
+        let mut x = 0x0123_4567_89AB_CDEF_u64;
+        for _ in 0..5000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            samples.push(x % 50_000_000);
+        }
+        let mut w = Watchdog::new(0);
+        for &s in &samples {
+            w.record(1, s);
+        }
+        let max = *samples.iter().max().unwrap();
+        for p in [0, 1, 10, 25, 50, 75, 90, 95, 99, 100] {
+            let exact = exact_percentile(&samples, p).unwrap();
+            let approx = w.percentile(p).unwrap();
+            assert!(approx <= max, "p{p}: {approx} above true max {max}");
+            assert!(approx >= exact, "p{p}: bucket upper bound must not under-report");
+            let err = (approx - exact) as f64 / exact.max(1) as f64;
+            assert!(err <= 0.01, "p{p}: {approx} vs exact {exact} (err {err:.4})");
+        }
+    }
+
+    #[test]
+    fn histogram_memory_is_bounded() {
+        // Millions of records, fixed footprint: the bucket array length
+        // never changes (this is the property that lets the open-loop
+        // engine log every request).
+        let mut h = LatencyHistogram::new();
+        let buckets_before = h.counts.len();
+        for i in 0..2_000_000u64 {
+            h.record(i.wrapping_mul(0x9E37_79B9) % 10_000_000);
+        }
+        assert_eq!(h.counts.len(), buckets_before);
+        assert_eq!(h.count(), 2_000_000);
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        // merge(a, b) must equal the histogram of the concatenation, for
+        // counts, extrema and every bucket.
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = (i * i * 31) % 1_000_000;
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.counts, whole.counts);
+        for p in [1, 50, 99, 100] {
+            assert_eq!(a.percentile(p), whole.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn quantile_reaches_into_the_tail() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..999 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.quantile(0.5), Some(100));
+        // The single outlier is exactly the p999+ tail.
+        let p999 = h.quantile(0.999).unwrap();
+        assert!(p999 >= 100, "tail quantile must see the distribution");
+        let p9999 = h.quantile(0.9999).unwrap();
+        assert_eq!(p9999, 1_000_000, "top quantile is clamped to the exact max");
+        assert_eq!(h.quantile(1.0), Some(1_000_000));
+    }
+
+    #[test]
+    fn cdf_rows_are_monotonic_and_complete() {
+        let mut h = LatencyHistogram::new();
+        for v in [5u64, 5, 300, 70_000, 70_000, 70_001, 9_000_000] {
+            h.record(v);
+        }
+        let rows = h.cdf();
+        assert_eq!(rows.last().unwrap().2, h.count(), "cumulative reaches the total");
+        let mut prev_bound = 0;
+        let mut prev_cum = 0;
+        for &(bound, count, cum) in &rows {
+            assert!(bound >= prev_bound, "bounds increase");
+            assert!(count > 0, "only non-empty buckets appear");
+            assert_eq!(cum, prev_cum + count, "cumulative sums the counts");
+            prev_bound = bound;
+            prev_cum = cum;
+        }
+    }
+
+    #[test]
+    fn bucket_index_and_bound_are_consistent() {
+        // Every value maps to a bucket whose upper bound is >= the value
+        // and within 1% of it (exhaustive near the exact/bucketed border,
+        // sampled across the octaves).
+        let check = |v: u64| {
+            let i = LatencyHistogram::index(v);
+            let hi = LatencyHistogram::upper_bound(i);
+            assert!(hi >= v, "upper_bound({i}) = {hi} < value {v}");
+            let err = (hi - v) as f64 / v.max(1) as f64;
+            assert!(err <= 1.0 / 128.0, "value {v}: bound {hi} off by {err:.5}");
+        };
+        for v in 0..5000 {
+            check(v);
+        }
+        for shift in 13..63 {
+            for off in [0u64, 1, 12345] {
+                check((1u64 << shift) + off);
+            }
+        }
+        check(u64::MAX);
     }
 }

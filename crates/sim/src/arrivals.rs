@@ -1,0 +1,260 @@
+//! Open-loop arrival processes on the simulated clock.
+//!
+//! Closed-loop benchmarks (N threads looping as fast as they can) hide
+//! queueing delay: a slow operation simply delays the *next* request,
+//! so the latency distribution never sees the backlog — the classic
+//! coordinated-omission trap. An **open-loop** workload fixes request
+//! arrival times up front, independent of service progress, and
+//! measures each request from its *scheduled arrival* to completion, so
+//! a stall shows up as queueing delay on every request behind it.
+//!
+//! This module generates deterministic arrival plans for the service
+//! engine: Poisson arrivals (exponential inter-arrival gaps) shaped by
+//! a sequence of [`ArrivalPhase`]s (steady load, bursts, diurnal-style
+//! linear ramps), plus a [`Zipf`] key sampler for skewed key
+//! popularity. Everything is a pure function of a [`DetRng`] stream, so
+//! a whole traffic scenario replays byte-identically from one seed.
+
+use crate::rng::DetRng;
+
+/// A phase of an open-loop arrival schedule.
+///
+/// Arrivals within the phase are Poisson: inter-arrival gaps are drawn
+/// from an exponential distribution whose mean interpolates linearly
+/// from `mean_gap_start` to `mean_gap_end` over the phase (equal values
+/// give steady load; a descending ramp models a diurnal climb toward
+/// peak; a short phase with a small gap is a burst).
+#[derive(Debug, Clone)]
+pub struct ArrivalPhase {
+    /// Phase label, carried into telemetry ("steady", "burst", ...).
+    pub label: &'static str,
+    /// Phase length in simulated cycles.
+    pub duration: u64,
+    /// Mean inter-arrival gap (cycles) at the start of the phase.
+    pub mean_gap_start: f64,
+    /// Mean inter-arrival gap (cycles) at the end of the phase.
+    pub mean_gap_end: f64,
+}
+
+impl ArrivalPhase {
+    /// A constant-rate phase with the given mean inter-arrival gap.
+    pub fn steady(label: &'static str, duration: u64, mean_gap: f64) -> Self {
+        ArrivalPhase { label, duration, mean_gap_start: mean_gap, mean_gap_end: mean_gap }
+    }
+
+    /// A linear ramp from one mean gap to another (diurnal-style).
+    pub fn ramp(label: &'static str, duration: u64, from_gap: f64, to_gap: f64) -> Self {
+        ArrivalPhase { label, duration, mean_gap_start: from_gap, mean_gap_end: to_gap }
+    }
+
+    /// Expected number of arrivals in this phase (duration over the
+    /// average of the endpoint gaps — exact for steady phases, the
+    /// harmonic-free approximation for ramps).
+    pub fn expected_arrivals(&self) -> f64 {
+        let mean = 0.5 * (self.mean_gap_start + self.mean_gap_end);
+        if mean <= 0.0 {
+            0.0
+        } else {
+            self.duration as f64 / mean
+        }
+    }
+}
+
+/// One scheduled request arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Simulated cycle at which the request arrives (enqueue time —
+    /// latency is measured from here, not from service start).
+    pub at: u64,
+    /// Index into the phase list that produced this arrival.
+    pub phase: usize,
+}
+
+/// Generate the full open-loop arrival schedule for a phase sequence.
+///
+/// Phases run back to back starting at cycle 0; arrivals are strictly
+/// ordered by time (ties broken by draw order are impossible: gaps are
+/// rounded up to at least one cycle). The schedule is a pure function
+/// of the RNG stream and the phases.
+pub fn generate_arrivals(rng: &mut DetRng, phases: &[ArrivalPhase]) -> Vec<Arrival> {
+    let mut out = Vec::new();
+    let mut phase_start = 0u64;
+    for (idx, phase) in phases.iter().enumerate() {
+        let end = phase_start + phase.duration;
+        let mut t = phase_start;
+        loop {
+            // Interpolate the mean gap at the current offset into the
+            // phase, then draw an exponential gap at that rate.
+            let frac = if phase.duration == 0 {
+                0.0
+            } else {
+                (t - phase_start) as f64 / phase.duration as f64
+            };
+            let mean = phase.mean_gap_start + (phase.mean_gap_end - phase.mean_gap_start) * frac;
+            let gap = exponential_gap(rng, mean);
+            t = t.saturating_add(gap);
+            if t >= end {
+                break;
+            }
+            out.push(Arrival { at: t, phase: idx });
+        }
+        phase_start = end;
+    }
+    out
+}
+
+/// Draw an exponential inter-arrival gap with the given mean, in whole
+/// cycles (at least 1, so arrival times strictly increase).
+fn exponential_gap(rng: &mut DetRng, mean: f64) -> u64 {
+    let mean = mean.max(1.0);
+    // Inverse-CDF sampling; `unit()` is in [0, 1) so the argument of
+    // `ln` is in (0, 1] and the result is finite and non-negative.
+    let gap = -mean * (1.0 - rng.unit()).ln();
+    (gap.round() as u64).max(1)
+}
+
+/// A Zipf-distributed key sampler over `[0, n)`.
+///
+/// Key `k` has weight `1 / (k+1)^theta`; `theta = 0` degenerates to
+/// uniform, `theta ≈ 1` is the classic web-traffic skew. Sampling is by
+/// binary search over the precomputed CDF — O(log n) per draw, O(n)
+/// memory, exact (no rejection).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative weights; `cdf[k]` = sum of weights of keys `0..=k`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` keys with skew exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty key domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of keys in the domain.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one key.
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        let total = *self.cdf.last().expect("non-empty by construction");
+        let target = rng.unit() * total;
+        self.cdf.partition_point(|&c| c <= target) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_deterministic() {
+        let phases = [
+            ArrivalPhase::steady("steady", 10_000, 50.0),
+            ArrivalPhase::ramp("ramp", 10_000, 50.0, 10.0),
+        ];
+        let a = generate_arrivals(&mut DetRng::new(7, 0), &phases);
+        let b = generate_arrivals(&mut DetRng::new(7, 0), &phases);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn arrivals_strictly_increase_and_stay_in_phase() {
+        let phases = [ArrivalPhase::steady("a", 5_000, 3.0), ArrivalPhase::steady("b", 5_000, 3.0)];
+        let arrivals = generate_arrivals(&mut DetRng::new(1, 2), &phases);
+        for w in arrivals.windows(2) {
+            assert!(w[0].at < w[1].at, "arrival times must strictly increase");
+        }
+        for a in &arrivals {
+            let (lo, hi) = if a.phase == 0 { (0, 5_000) } else { (5_000, 10_000) };
+            assert!(a.at >= lo && a.at < hi, "arrival {a:?} outside its phase");
+        }
+    }
+
+    #[test]
+    fn steady_phase_hits_target_rate() {
+        let phases = [ArrivalPhase::steady("s", 1_000_000, 100.0)];
+        let n = generate_arrivals(&mut DetRng::new(11, 4), &phases).len() as f64;
+        let expected = phases[0].expected_arrivals();
+        assert!((n - expected).abs() / expected < 0.05, "got {n} arrivals, expected ~{expected}");
+    }
+
+    #[test]
+    fn burst_phase_is_denser_than_steady() {
+        let phases = [
+            ArrivalPhase::steady("steady", 100_000, 200.0),
+            ArrivalPhase::steady("burst", 100_000, 20.0),
+        ];
+        let arrivals = generate_arrivals(&mut DetRng::new(3, 9), &phases);
+        let steady = arrivals.iter().filter(|a| a.phase == 0).count();
+        let burst = arrivals.iter().filter(|a| a.phase == 1).count();
+        assert!(
+            burst > 5 * steady,
+            "burst ({burst}) should dwarf steady ({steady}) at 10x the rate"
+        );
+    }
+
+    #[test]
+    fn ramp_gets_denser_toward_the_end() {
+        let phases = [ArrivalPhase::ramp("ramp", 1_000_000, 400.0, 40.0)];
+        let arrivals = generate_arrivals(&mut DetRng::new(5, 5), &phases);
+        let first_half = arrivals.iter().filter(|a| a.at < 500_000).count();
+        let second_half = arrivals.len() - first_half;
+        assert!(
+            second_half > 2 * first_half,
+            "descending-gap ramp must accelerate: {first_half} then {second_half}"
+        );
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_keys() {
+        let zipf = Zipf::new(1000, 0.99);
+        let mut rng = DetRng::new(42, 1);
+        let mut head = 0;
+        let draws = 10_000;
+        for _ in 0..draws {
+            if zipf.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Under theta=0.99 the top 10 of 1000 keys carry ~38% of the
+        // mass; uniform would give 1%.
+        assert!(head > draws / 5, "only {head}/{draws} draws hit the head");
+    }
+
+    #[test]
+    fn zipf_zero_theta_is_uniformish() {
+        let zipf = Zipf::new(100, 0.0);
+        let mut rng = DetRng::new(8, 8);
+        let mut counts = [0u32; 100];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min < 400, "uniform spread expected, got min {min} max {max}");
+    }
+
+    #[test]
+    fn zipf_covers_domain() {
+        let zipf = Zipf::new(8, 1.2);
+        let mut rng = DetRng::new(2, 6);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            seen[zipf.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every key must be reachable");
+    }
+}

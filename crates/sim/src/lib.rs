@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod control;
 mod cost;
 mod fault;
@@ -53,6 +54,7 @@ mod slots;
 mod stats;
 mod trace;
 
+pub use arrivals::{generate_arrivals, Arrival, ArrivalPhase, Zipf};
 pub use control::{ScheduleControl, StepAccess, StepRecord};
 pub use cost::CostModel;
 pub use fault::{FaultPlan, FaultStats, PreemptSpec};

@@ -17,19 +17,35 @@ pub struct DetRng {
     s: [u64; 4],
 }
 
+/// The SplitMix64 finalizer: a bijective avalanche of one 64-bit word.
+fn splitmix_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl DetRng {
     /// Create the RNG for (`seed`, `stream`). Different streams from the
     /// same seed are statistically independent.
     pub fn new(seed: u64, stream: u64) -> Self {
-        // SplitMix64 over the pair gives well-distributed 256-bit state and
-        // guarantees the all-zero state (invalid for xoshiro) is unreachable.
-        let mut state = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // Two-word sequential SplitMix64 seeding: the seed word is pushed
+        // through the full SplitMix64 finalizer *before* the stream word
+        // is folded in and finalized again, and that digest seeds the
+        // SplitMix64 draw of the 256-bit xoshiro state (which guarantees
+        // the all-zero state, invalid for xoshiro, is unreachable).
+        //
+        // The previous initializer collapsed the pair linearly
+        // (`state = seed ^ stream · C`), so `DetRng::new(a ^ s·C, 0)` and
+        // `DetRng::new(a, s)` were byte-identical streams — any component
+        // deriving its seed by xor-folding could silently alias another
+        // component's stream. Sequential absorption breaks every such
+        // linear relation: the stream word lands on an already-avalanched
+        // seed digest, never on the raw seed bits.
+        let mut state = splitmix_mix(seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        state = splitmix_mix(state.wrapping_add(stream).wrapping_add(0xD1B5_4A32_D192_ED03));
         let mut next = || {
             state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
+            splitmix_mix(state)
         };
         let mut s = [next(), next(), next(), next()];
         if s == [0; 4] {
@@ -111,6 +127,32 @@ mod tests {
         let mut b = DetRng::new(42, 1);
         let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
         assert!(same < 4);
+    }
+
+    #[test]
+    fn old_seeding_collisions_now_diverge() {
+        // Regression: the old initializer set the SplitMix state to
+        // `seed ^ stream · C`, so `new(a ^ s·C, 0)` and `new(a, s)`
+        // produced byte-identical streams for every (a, s). Construct
+        // that exact colliding pair and require divergence.
+        const C: u64 = 0x9E37_79B9_7F4A_7C15;
+        for (a, s) in [(42u64, 7u64), (0, 1), (0xDEAD_BEEF, 0xF00D), (u64::MAX, C)] {
+            let mut x = DetRng::new(a ^ s.wrapping_mul(C), 0);
+            let mut y = DetRng::new(a, s);
+            let same = (0..64).filter(|_| x.next_u64() == y.next_u64()).count();
+            assert!(same < 4, "(seed {a:#x}, stream {s:#x}): {same}/64 outputs collide");
+        }
+    }
+
+    #[test]
+    fn seed_and_stream_are_not_interchangeable() {
+        // Sequential absorption is order-sensitive: swapping the words
+        // must give an unrelated stream (the old xor-fold was symmetric
+        // up to the multiplier).
+        let mut x = DetRng::new(3, 17);
+        let mut y = DetRng::new(17, 3);
+        let same = (0..64).filter(|_| x.next_u64() == y.next_u64()).count();
+        assert!(same < 4, "{same}/64 outputs collide for swapped (seed, stream)");
     }
 
     #[test]

@@ -128,9 +128,14 @@ fn modelcheck_quick_artifact_matches_pre_rewrite_golden() {
     assert_golden(&scratch.0, "MODELCHECK.json", GOLDEN_MODELCHECK_JSON);
 }
 
-// Golden hashes captured from the pre-rewrite implementation (HashSet /
-// HashMap transaction sets, broadcast condvar scheduler) at window 0.
-const GOLDEN_FIG2_CSV: u64 = 0xeec5_ff6d_11b3_89b5;
-const GOLDEN_FIG2_JSON: u64 = 0x1e5d_8780_c903_1f5e;
-const GOLDEN_PERF_GATE_JSON: u64 = 0xf51c_4816_a17b_5968;
+// Golden hashes at window 0. Originally captured from the pre-rewrite
+// implementation (HashSet / HashMap transaction sets, broadcast condvar
+// scheduler); the fig2/perf_gate hashes were re-blessed after the
+// `DetRng::new` reseed (two sequential SplitMix64 words — an intentional
+// fix for (seed, stream) collisions that shifts every workload stream).
+// MODELCHECK.json is unchanged: the DPOR sweep explores interleavings
+// exhaustively and draws nothing from the reseeded streams.
+const GOLDEN_FIG2_CSV: u64 = 0xd6cc_7b01_f6ed_1939;
+const GOLDEN_FIG2_JSON: u64 = 0xf2a0_137c_e6aa_e8ba;
+const GOLDEN_PERF_GATE_JSON: u64 = 0xb011_f309_3a34_6419;
 const GOLDEN_MODELCHECK_JSON: u64 = 0x1331_dd5f_75c2_f000;
