@@ -102,6 +102,18 @@ impl Bounds {
     pub fn quick() -> Self {
         Bounds { divergence: Some(12), max_schedules: 1_500, max_runs: 6_000, max_steps: 2_000 }
     }
+
+    /// The per-cell configuration the `lazy_safety` sweep uses for
+    /// *every* cell, fixed and unfixed alike — the comparison "unfixed
+    /// produces a counterexample, fixed verifies clean" is only
+    /// meaningful under identical bounds. The context-switch bound is
+    /// deep enough to reach both unsafe classes of arXiv 1407.6968 with
+    /// headroom; the search is still truncated (and reported as such),
+    /// so a clean cell means "no counterexample within these bounds",
+    /// not total verification.
+    pub fn lazy_safety() -> Self {
+        Bounds { divergence: Some(12), max_schedules: 2_000, max_runs: 8_000, max_steps: 800 }
+    }
 }
 
 /// Aggregate statistics from one exploration.
@@ -666,7 +678,10 @@ pub fn explore_cell(spec: &ExploreSpec) -> CellReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testkit::{broken_slr_explore, double_release_explore};
+    use crate::testkit::{
+        broken_slr_explore, double_release_explore, lazy_race_explore, lazy_zombie_explore,
+        LazyFixes,
+    };
 
     /// Two threads, two pure-computation segments each: C(4,2) = 6
     /// interleavings, matching the hand-computed count.
@@ -779,6 +794,134 @@ mod tests {
             .unwrap_or_else(|| panic!("double release not caught: {findings:#?}"));
         assert!(hit.forced.len() <= 12, "minimized counterexample too large: {:?}", hit.forced);
         assert!(!hit.diagram.is_empty());
+    }
+
+    /// Diagnostic sweep over the full (class, lock, fixes) matrix —
+    /// `cargo test -- --ignored debug_lazy_matrix --nocapture` prints
+    /// the per-cell stats and lint sets the `lazy_safety` bench pins.
+    #[test]
+    #[ignore]
+    fn debug_lazy_matrix() {
+        let bounds = Bounds::lazy_safety();
+        for fixes in LazyFixes::ALL {
+            for lock in [LockKind::Ttas, LockKind::Ticket, LockKind::Clh] {
+                let mut lints: HashSet<LintId> = HashSet::new();
+                let mut max_len = 0usize;
+                let stats = explore(
+                    Mode::Dpor,
+                    &bounds,
+                    |ov| lazy_zombie_explore(lock, fixes, ov),
+                    |steps, _, findings| {
+                        max_len = max_len.max(steps.len());
+                        lints.extend(findings.iter().map(|f| f.lint));
+                    },
+                );
+                eprintln!(
+                    "A {:>6}/{:<15} stats={stats:?} max_len={max_len} lints={lints:?}",
+                    lock.label(),
+                    fixes.label()
+                );
+            }
+            for lock in [LockKind::Ttas, LockKind::Mcs, LockKind::Ticket, LockKind::Clh] {
+                let mut lints: HashSet<LintId> = HashSet::new();
+                let mut max_len = 0usize;
+                let stats = explore(
+                    Mode::Dpor,
+                    &bounds,
+                    |ov| lazy_race_explore(lock, fixes, ov),
+                    |steps, _, findings| {
+                        max_len = max_len.max(steps.len());
+                        lints.extend(findings.iter().map(|f| f.lint));
+                    },
+                );
+                eprintln!(
+                    "B {:>6}/{:<15} stats={stats:?} max_len={max_len} lints={lints:?}",
+                    lock.label(),
+                    fixes.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dpor_catches_lazy_zombie_dangerous_instruction() {
+        // Class A of arXiv 1407.6968: unfixed lazy subscription lets a
+        // zombie publish a wild store to the lock word itself.
+        let (stats, findings) = explore_and_minimize(Mode::Dpor, &Bounds::lazy_safety(), |ov| {
+            lazy_zombie_explore(LockKind::Ttas, LazyFixes::default(), ov)
+        });
+        assert!(stats.executions > 1, "must explore beyond the (clean) default schedule");
+        let hit = findings
+            .iter()
+            .find(|f| f.finding.lint == LintId::LazyDangerousInstruction)
+            .unwrap_or_else(|| panic!("zombie wild store not caught: {findings:#?}"));
+        assert!(hit.forced.len() <= 15, "minimized counterexample too large: {:?}", hit.forced);
+        assert!(!hit.diagram.is_empty());
+        assert!(hit.diagram.iter().any(|l| l.contains("<- forced")));
+        assert!(
+            findings.iter().any(|f| f.finding.lint == LintId::CommitWhileLockHeld),
+            "the zombie's commit lands inside the critical section: {findings:#?}"
+        );
+    }
+
+    #[test]
+    fn dpor_catches_lazy_subscription_commit_race() {
+        // Class B of arXiv 1407.6968: the lock is acquired between the
+        // unfenced subscription check and the commit.
+        let (stats, findings) = explore_and_minimize(Mode::Dpor, &Bounds::lazy_safety(), |ov| {
+            lazy_race_explore(LockKind::Ttas, LazyFixes::default(), ov)
+        });
+        assert!(stats.executions > 1, "must explore beyond the (clean) default schedule");
+        let hit = findings
+            .iter()
+            .find(|f| matches!(f.finding.lint, LintId::ZombieCommit | LintId::CommitWhileLockHeld))
+            .unwrap_or_else(|| panic!("subscription race not caught: {findings:#?}"));
+        assert!(hit.forced.len() <= 15, "minimized counterexample too large: {:?}", hit.forced);
+        assert!(!hit.diagram.is_empty());
+    }
+
+    #[test]
+    fn hardware_fixes_verify_clean_under_identical_bounds() {
+        // Both fixes together close both unsafe classes: the *same*
+        // bounded search that finds the counterexamples above must come
+        // back empty.
+        let both = LazyFixes { dangerous_abort: true, hardware_commit: true };
+        let (stats, findings) = explore_and_minimize(Mode::Dpor, &Bounds::lazy_safety(), |ov| {
+            lazy_zombie_explore(LockKind::Ttas, both, ov)
+        });
+        assert!(stats.executions > 1, "the fixed cell must actually be searched");
+        assert!(findings.is_empty(), "fixed zombie cell must verify clean: {findings:#?}");
+
+        let (stats, findings) = explore_and_minimize(Mode::Dpor, &Bounds::lazy_safety(), |ov| {
+            lazy_race_explore(LockKind::Ttas, both, ov)
+        });
+        assert!(stats.executions > 1, "the fixed cell must actually be searched");
+        assert!(findings.is_empty(), "fixed race cell must verify clean: {findings:#?}");
+    }
+
+    #[test]
+    fn dangerous_abort_alone_fixes_zombies_but_not_the_commit_race() {
+        // The dangerous-instruction screen stops the wild store at the
+        // offending access...
+        let screen_only = LazyFixes { dangerous_abort: true, hardware_commit: false };
+        let (stats, findings) = explore_and_minimize(Mode::Dpor, &Bounds::lazy_safety(), |ov| {
+            lazy_zombie_explore(LockKind::Ttas, screen_only, ov)
+        });
+        assert!(stats.executions > 1, "the screened cell must actually be searched");
+        assert!(findings.is_empty(), "screen must stop the wild store: {findings:#?}");
+
+        // ...but is no help against the check-to-commit window, which
+        // involves no dangerous instruction at all.
+        let (_, findings) = explore_and_minimize(Mode::Dpor, &Bounds::lazy_safety(), |ov| {
+            lazy_race_explore(LockKind::Ttas, screen_only, ov)
+        });
+        assert!(
+            findings.iter().any(|f| matches!(
+                f.finding.lint,
+                LintId::ZombieCommit | LintId::CommitWhileLockHeld
+            )),
+            "the subscription race must survive the screen: {findings:#?}"
+        );
     }
 
     #[test]

@@ -133,6 +133,25 @@ pub fn check_opacity(cfg: &OpacityConfig, initial: &[u64], events: &[SanEvent]) 
                 }
                 committed[idx as usize] = value;
                 let txn_write = matches!(ev.access, SanAccess::Write { txn: true, .. });
+                // Transactional writes reach the log only when published
+                // at commit, and every legitimate scheme path either
+                // elides its lock-word stores (dropped pre-publish) or
+                // issues them non-transactionally. A published
+                // transactional store to the main lock word is therefore
+                // a zombie's wild store escaping to memory — the
+                // "dangerous instruction" of arXiv 1407.6968, caught
+                // dynamically.
+                if txn_write && Some(idx) == cfg.main_lock {
+                    findings.push(Finding {
+                        lint: LintId::LazyDangerousInstruction,
+                        message: format!(
+                            "t{tid} published a transactional store of {value} to the \
+                             main lock word (var {idx}): a lazily subscribed zombie \
+                             executed a dangerous instruction"
+                        ),
+                        sites: vec![site(Some(idx))],
+                    });
+                }
                 for (&t, txn) in live.iter_mut() {
                     // A transaction's own publishes cannot stale its
                     // own snapshot.
@@ -277,6 +296,23 @@ mod tests {
             read(0, 4, X, 0),
             ev(0, 5, SanAccess::TxnCommit),
         ];
+        assert!(check_opacity(&sandboxed(), &init(), &events).is_empty());
+    }
+
+    #[test]
+    fn published_txn_store_to_lock_word_is_dangerous() {
+        let events = vec![
+            ev(0, 1, SanAccess::TxnBegin),
+            read(0, 2, X, 0),
+            ev(0, 3, SanAccess::Write { var: VarId::from_index(L), value: 0, txn: true }),
+            ev(0, 3, SanAccess::TxnCommit),
+        ];
+        let f = check_opacity(&sandboxed(), &init(), &events);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, LintId::LazyDangerousInstruction);
+        // A non-transactional store to the lock word (Standard path after
+        // a fallback acquire) is fine.
+        let events = vec![plain_write(0, 1, L, 1), plain_write(0, 2, L, 0)];
         assert!(check_opacity(&sandboxed(), &init(), &events).is_empty());
     }
 

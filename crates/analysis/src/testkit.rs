@@ -28,11 +28,13 @@
 //! [`LintId::SlrUnsubscribedCommit`]: crate::LintId::SlrUnsubscribedCommit
 //! [`LintId::ReleaseWithoutAcquire`]: crate::LintId::ReleaseWithoutAcquire
 
+use crate::driver::{lint_config_for, policy_for};
 use crate::lint::{lint_trace, LintConfig};
 use crate::opacity::{check_opacity, OpacityConfig, OpacityPolicy};
 use crate::race::{detect_races, RaceConfig};
 use crate::Finding;
-use elision_htm::{codes, harness, HtmConfig, Memory, MemoryBuilder};
+use elision_core::{make_scheme, LazyMode, LockKind, SchemeConfig, SchemeKind};
+use elision_htm::{codes, harness, HtmConfig, HwSubscription, Memory, MemoryBuilder, VarId};
 use elision_locks::{RawLock, TtasLock};
 use elision_sim::{GlobalTrace, ScheduleControl, StepRecord};
 use std::collections::BTreeMap;
@@ -347,6 +349,239 @@ pub fn double_release_explore(overrides: &BTreeMap<usize, usize>) -> ExploreRun 
     (control.steps(), findings)
 }
 
+/// Which of arXiv 1407.6968's hardware fixes a lazy-subscription fixture
+/// runs with. `Default` is the unfixed stock-Haswell configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LazyFixes {
+    /// Hardware dangerous-instruction detection
+    /// ([`HtmConfig::dangerous_abort`]): the zombie's wild store aborts
+    /// at the offending access. Fixes the zombie class only — the
+    /// commit-time subscription race involves no dangerous instruction.
+    pub dangerous_abort: bool,
+    /// Hardware commit-time subscription ([`LazyMode::HardwareCommit`]):
+    /// the commit itself verifies the lock-free descriptor atomically
+    /// with publication. Fixes both unsafe classes.
+    pub hardware_commit: bool,
+}
+
+impl LazyFixes {
+    /// The four sweep configurations, unfixed first.
+    pub const ALL: [LazyFixes; 4] = [
+        LazyFixes { dangerous_abort: false, hardware_commit: false },
+        LazyFixes { dangerous_abort: true, hardware_commit: false },
+        LazyFixes { dangerous_abort: false, hardware_commit: true },
+        LazyFixes { dangerous_abort: true, hardware_commit: true },
+    ];
+
+    /// Stable snake_case label for artifacts.
+    pub fn label(&self) -> &'static str {
+        match (self.dangerous_abort, self.hardware_commit) {
+            (false, false) => "unfixed",
+            (true, false) => "dangerous_abort",
+            (false, true) => "hardware_commit",
+            (true, true) => "both",
+        }
+    }
+
+    /// The HTM configuration this fix set implies.
+    pub fn htm(&self) -> HtmConfig {
+        HtmConfig::deterministic().with_dangerous_abort(self.dangerous_abort)
+    }
+
+    /// The scheme configuration this fix set implies, given the software
+    /// subscription shape (`unfixed_mode`) the fixture models when the
+    /// hardware commit-time subscription is absent.
+    pub fn scheme_cfg(&self, unfixed_mode: LazyMode) -> SchemeConfig {
+        let mode = if self.hardware_commit { LazyMode::HardwareCommit } else { unfixed_mode };
+        SchemeConfig::explore().with_lazy_mode(mode)
+    }
+}
+
+/// The wild store the class-A zombie issues after a torn read: a
+/// `(target, value)` pair aimed at the lock so that the zombie's *own*
+/// subscription check — served from its write buffer — reads the lock as
+/// free. Derived from the lock's hardware descriptor so every family
+/// gets the family-appropriate corruption.
+fn zombie_wild_store(lock: &dyn RawLock, threads: usize) -> (VarId, u64) {
+    match lock.hw_subscription().expect("every built-in lock provides a descriptor") {
+        HwSubscription::ValueIs { word, free } => (word, free),
+        // Ticket: overwrite `next` with `owner`'s initial value (0, and
+        // still 0 while the victim holds its first acquisition), making
+        // next == owner read as free.
+        HwSubscription::WordsEqual { a, .. } => (a, 0),
+        // CLH: point the tail back at the initial node, which stays
+        // unlocked while the victim spins on its own node.
+        HwSubscription::IndirectValueIs { ptr, .. } => (ptr, threads as u64),
+    }
+}
+
+/// Run every analysis pass a lazy-subscription fixture needs and return
+/// the combined findings.
+fn analyze_lazy_run(
+    scheme: &elision_core::Scheme,
+    mem: &Memory,
+    threads: usize,
+    rings: Vec<elision_sim::TraceRing>,
+) -> Vec<Finding> {
+    let trace = GlobalTrace::merge(rings.iter().enumerate());
+    let san = mem.san_log().expect("sanitizer enabled by the fixture");
+    let events = san.snapshot();
+    let mut findings = detect_races(&race_cfg(mem, threads), &events);
+    findings.extend(check_opacity(
+        &OpacityConfig {
+            policy: policy_for(scheme.kind()),
+            main_lock: Some(scheme.main_lock().lock_word().index()),
+        },
+        san.initial_values(),
+        &events,
+    ));
+    findings.extend(lint_trace(&lint_config_for(scheme, threads), &trace));
+    findings
+}
+
+/// Class A of arXiv 1407.6968 — the **zombie dangerous instruction**.
+///
+/// Thread 0 is an honest non-speculative lock holder maintaining the
+/// invariant `sel == val` (both written inside the critical section,
+/// with a gap). Thread 1 runs the same data through an SLR (lazy
+/// subscription) transaction whose write *target* depends on what it
+/// read: on a consistent snapshot it writes a scratch word, but on a
+/// torn snapshot (`sel != val`) the computed "pointer" resolves to the
+/// main lock word — and the value it writes there is exactly the lock's
+/// free encoding, so the zombie's own commit-time subscription check,
+/// served from its write buffer, passes on fabricated state and the wild
+/// store escapes to memory. The default schedule is clean (the whole
+/// transaction fits inside thread 0's prelude); only an adversarial
+/// interleaving exposes [`crate::LintId::LazyDangerousInstruction`] +
+/// [`crate::LintId::CommitWhileLockHeld`].
+///
+/// MCS is deliberately not offered here: its free encoding is a nil
+/// tail, and publishing that while the victim is queued wedges the
+/// victim's release in an unbounded spin — the corruption manifests as
+/// a hang rather than a finite counterexample, which a bounded explorer
+/// cannot exhibit (see DESIGN.md §5g).
+pub fn lazy_zombie_explore(
+    lock: LockKind,
+    fixes: LazyFixes,
+    overrides: &BTreeMap<usize, usize>,
+) -> ExploreRun {
+    assert!(lock != LockKind::Mcs, "MCS wild store wedges the victim; not explorable");
+    let threads = 2;
+    let mut b = MemoryBuilder::new();
+    b.enable_sanitizer();
+    let scheme =
+        make_scheme(SchemeKind::OptSlr, lock, fixes.scheme_cfg(LazyMode::ReadSet), &mut b, threads);
+    let sel = b.alloc_isolated(0);
+    let val = b.alloc_isolated(0);
+    let scratch = b.alloc_isolated(0);
+    let (wild_target, wild_value) = zombie_wild_store(scheme.main_lock().as_ref(), threads);
+    let mem = Arc::new(b.freeze(threads));
+    let control = Arc::new(ScheduleControl::new(threads, overrides.clone()));
+
+    let (rings, _makespan) = {
+        let scheme = Arc::clone(&scheme);
+        let main = Arc::clone(scheme.main_lock());
+        harness::run_arc_controlled(
+            threads,
+            fixes.htm(),
+            7,
+            Arc::clone(&control),
+            Arc::clone(&mem),
+            move |s| {
+                s.enable_trace(1024);
+                if s.tid() == 0 {
+                    // Long non-critical prelude (keeps the default
+                    // schedule clean), then the invariant-maintaining
+                    // critical section.
+                    s.work(200).expect("non-transactional work");
+                    main.acquire(s).expect("non-speculative acquire");
+                    s.store(sel, 1).expect("plain store");
+                    s.work(20).expect("non-transactional work");
+                    s.store(val, 1).expect("plain store");
+                    main.release(s).expect("non-speculative release");
+                } else {
+                    scheme.execute(s, |s| {
+                        let a = s.load(sel)?;
+                        let v = s.load(val)?;
+                        if a == v {
+                            s.store(scratch, a + v)?;
+                        } else {
+                            // Torn snapshot: the data-dependent write
+                            // target resolves to the lock word.
+                            s.store(wild_target, wild_value)?;
+                        }
+                        Ok(())
+                    });
+                }
+                s.trace.take().expect("trace enabled above")
+            },
+        )
+    };
+    let findings = analyze_lazy_run(&scheme, &mem, threads, rings);
+    (control.steps(), findings)
+}
+
+/// Class B of arXiv 1407.6968 — the **commit-time subscription race**.
+///
+/// Thread 1's transaction touches only a private counter and performs
+/// its lazy subscription check the way stock hardware runs it
+/// ([`LazyMode::Unfenced`]): a racy sample of the lock that joins no
+/// read set. Thread 0 acquires the lock between that sample and the
+/// commit — the commit publishes into an active critical section, seen
+/// as [`crate::LintId::ZombieCommit`] (the sampled lock word went stale)
+/// plus [`crate::LintId::CommitWhileLockHeld`]. The default schedule is
+/// clean; all four lock families are explorable.
+pub fn lazy_race_explore(
+    lock: LockKind,
+    fixes: LazyFixes,
+    overrides: &BTreeMap<usize, usize>,
+) -> ExploreRun {
+    let threads = 2;
+    let mut b = MemoryBuilder::new();
+    b.enable_sanitizer();
+    let scheme = make_scheme(
+        SchemeKind::OptSlr,
+        lock,
+        fixes.scheme_cfg(LazyMode::Unfenced),
+        &mut b,
+        threads,
+    );
+    let x = b.alloc_isolated(0);
+    let y = b.alloc_isolated(0);
+    let mem = Arc::new(b.freeze(threads));
+    let control = Arc::new(ScheduleControl::new(threads, overrides.clone()));
+
+    let (rings, _makespan) = {
+        let scheme = Arc::clone(&scheme);
+        let main = Arc::clone(scheme.main_lock());
+        harness::run_arc_controlled(
+            threads,
+            fixes.htm(),
+            7,
+            Arc::clone(&control),
+            Arc::clone(&mem),
+            move |s| {
+                s.enable_trace(1024);
+                if s.tid() == 0 {
+                    s.work(200).expect("non-transactional work");
+                    main.acquire(s).expect("non-speculative acquire");
+                    s.store(x, 1).expect("plain store");
+                    main.release(s).expect("non-speculative release");
+                } else {
+                    scheme.execute(s, |s| {
+                        let v = s.load(y)?;
+                        s.store(y, v + 1)?;
+                        Ok(())
+                    });
+                }
+                s.trace.take().expect("trace enabled above")
+            },
+        )
+    };
+    let findings = analyze_lazy_run(&scheme, &mem, threads, rings);
+    (control.steps(), findings)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,6 +623,34 @@ mod tests {
             findings.is_empty(),
             "default double-release schedule must be clean: {findings:#?}"
         );
+    }
+
+    #[test]
+    fn lazy_fixtures_are_clean_on_the_default_schedule() {
+        // Every (class, lock, fixes) cell the sweep visits must be clean
+        // on the default schedule — the unsafety is schedule-dependent.
+        for fixes in LazyFixes::ALL {
+            for lock in [LockKind::Ttas, LockKind::Ticket, LockKind::Clh] {
+                let (steps, findings) = lazy_zombie_explore(lock, fixes, &BTreeMap::new());
+                assert!(!steps.is_empty(), "controlled run recorded no decisions");
+                assert!(
+                    findings.is_empty(),
+                    "default zombie schedule ({} / {}) must be clean: {findings:#?}",
+                    lock.label(),
+                    fixes.label()
+                );
+            }
+            for lock in [LockKind::Ttas, LockKind::Mcs, LockKind::Ticket, LockKind::Clh] {
+                let (steps, findings) = lazy_race_explore(lock, fixes, &BTreeMap::new());
+                assert!(!steps.is_empty(), "controlled run recorded no decisions");
+                assert!(
+                    findings.is_empty(),
+                    "default subscription-race schedule ({} / {}) must be clean: {findings:#?}",
+                    lock.label(),
+                    fixes.label()
+                );
+            }
+        }
     }
 
     #[test]

@@ -57,7 +57,8 @@ mod watchdog;
 
 pub use factory::{make_grouped_scm, make_lock, make_scheme, make_scheme_with_aux, LockKind};
 pub use scheme::{
-    BackoffPolicy, BreakerConfig, ExecOutcome, Scheme, SchemeConfig, SchemeError, SchemeKind,
+    BackoffPolicy, BreakerConfig, ExecOutcome, LazyMode, Scheme, SchemeConfig, SchemeError,
+    SchemeKind,
 };
 pub use watchdog::{LatencyHistogram, Watchdog};
 

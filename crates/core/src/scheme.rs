@@ -199,6 +199,42 @@ impl BreakerConfig {
     }
 }
 
+/// How an SLR-style scheme performs its lazy commit-time subscription
+/// (Figure 5 line 24) — the knob at the heart of arXiv 1407.6968.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LazyMode {
+    /// Software subscription whose read joins the transaction's read set.
+    /// This is the simulator's long-standing default and the *idealized*
+    /// reading of Figure 5: because the simulated commit validates the
+    /// read set atomically with publication, the check-to-commit window
+    /// is closed for free. A zombie can still defeat it from the inside —
+    /// its own wild store to the lock word is served back from the write
+    /// buffer, so the check passes on fabricated state.
+    ReadSet,
+    /// Software subscription the way real unfixed hardware executes it: a
+    /// racy sample of committed state that joins no read set. The lock
+    /// can be acquired between the sample and the commit (the paper's
+    /// commit-time subscription race), on top of the zombie hazards.
+    Unfenced,
+    /// The paper's hardware fix: register the lock-free condition as a
+    /// [`elision_htm::HwSubscription`] descriptor; the simulated commit
+    /// evaluates it atomically with publication and aborts with
+    /// [`elision_htm::codes::SUBSCRIPTION`] when the lock is held. No
+    /// software read of the lock happens at all.
+    HardwareCommit,
+}
+
+impl LazyMode {
+    /// Stable snake_case label for artifacts and CSV/JSON emitters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LazyMode::ReadSet => "read_set",
+            LazyMode::Unfenced => "unfenced",
+            LazyMode::HardwareCommit => "hardware_commit",
+        }
+    }
+}
+
 /// Scheme tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchemeConfig {
@@ -229,6 +265,9 @@ pub struct SchemeConfig {
     /// configuration: markers cost nothing in simulated time but bloat
     /// trace rings.
     pub sanitize: bool,
+    /// How SLR-style schemes subscribe to the main lock at commit time
+    /// (see [`LazyMode`]). Eager schemes ignore this knob.
+    pub lazy_mode: LazyMode,
 }
 
 impl SchemeConfig {
@@ -244,7 +283,14 @@ impl SchemeConfig {
             capacity_skips_retries: false,
             breaker: None,
             sanitize: false,
+            lazy_mode: LazyMode::ReadSet,
         }
+    }
+
+    /// Override the lazy subscription mode (see [`LazyMode`]).
+    pub fn with_lazy_mode(mut self, mode: LazyMode) -> Self {
+        self.lazy_mode = mode;
+        self
     }
 
     /// The model-checking configuration: the paper's settings with the
@@ -676,6 +722,54 @@ impl Scheme {
         }
     }
 
+    /// The commit-time subscription step of a lazy attempt, in the mode
+    /// [`SchemeConfig::lazy_mode`] selects. Must run as the last thing
+    /// before the attempt closure returns `Ok`.
+    fn lazy_subscribe(&self, s: &mut Strand) -> TxResult<()> {
+        let main = &self.main;
+        match self.cfg.lazy_mode {
+            // Read the lock only when ready to commit; if it is held a
+            // non-speculative peer is inside the critical section and we
+            // may have seen inconsistent state — self-abort (Figure 5
+            // line 24). The read joins the read set, so a post-check
+            // acquisition dooms the commit.
+            LazyMode::ReadSet => {
+                if main.is_locked(s)? {
+                    return Err(s.xabort(codes::LOCK_BUSY, true));
+                }
+            }
+            // The same software check as real unfixed hardware runs it:
+            // a racy sample that joins no read set. A lock acquired after
+            // the sample but before the commit goes unnoticed.
+            LazyMode::Unfenced => match main.hw_subscription() {
+                Some(sub) => {
+                    if !s.probe_subscription(&sub)? {
+                        return Err(s.xabort(codes::LOCK_BUSY, true));
+                    }
+                }
+                None => {
+                    if main.is_locked(s)? {
+                        return Err(s.xabort(codes::LOCK_BUSY, true));
+                    }
+                }
+            },
+            // The hardware fix: hand the lock-free condition to the
+            // commit itself; no software read of the lock at all.
+            LazyMode::HardwareCommit => match main.hw_subscription() {
+                Some(sub) => s.hw_subscribe(sub),
+                None => {
+                    if main.is_locked(s)? {
+                        return Err(s.xabort(codes::LOCK_BUSY, true));
+                    }
+                }
+            },
+        }
+        if self.cfg.sanitize {
+            s.note("subscribe", u64::from(main.lock_word().index()));
+        }
+        Ok(())
+    }
+
     /// Optimistic SLR (Figure 5): no lock access until commit time.
     fn execute_slr<R>(
         &self,
@@ -685,20 +779,13 @@ impl Scheme {
         let mut attempts = 0u32;
         loop {
             attempts += 1;
-            let main = &self.main;
-            let sanitize = self.cfg.sanitize;
             let r = s.attempt(|s| {
+                // Declare lazy subscription up front so the hardware
+                // dangerous-instruction screen (when configured) covers
+                // every store the body issues.
+                s.mark_lazy_subscription();
                 let v = body(s)?;
-                // Lazy subscription: read the lock only when ready to
-                // commit; if it is held a non-speculative peer is inside
-                // the critical section and we may have seen inconsistent
-                // state — self-abort (Figure 5 line 24).
-                if main.is_locked(s)? {
-                    return Err(s.xabort(codes::LOCK_BUSY, true));
-                }
-                if sanitize {
-                    s.note("subscribe", u64::from(main.lock_word().index()));
-                }
+                self.lazy_subscribe(s)?;
                 Ok(v)
             });
             match r {
@@ -789,13 +876,9 @@ impl Scheme {
                     }
                 }
                 Subscription::Lazy => {
+                    s.mark_lazy_subscription();
                     let v = body(s)?;
-                    if main.is_locked(s)? {
-                        return Err(s.xabort(codes::LOCK_BUSY, true));
-                    }
-                    if sanitize {
-                        s.note("subscribe", u64::from(main.lock_word().index()));
-                    }
+                    self.lazy_subscribe(s)?;
                     Ok(v)
                 }
             });

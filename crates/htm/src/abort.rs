@@ -32,6 +32,11 @@ pub enum AbortReason {
     /// An HLE commit failed because the release did not restore the elided
     /// lock to its original value.
     HleRestore,
+    /// Hardware dangerous-instruction detection (arXiv 1407.6968) caught a
+    /// lazily subscribed transaction writing a lock-marked line — the
+    /// "wild store" a zombie performs after reading inconsistent state.
+    /// Only raised when [`crate::HtmConfig::dangerous_abort`] is enabled.
+    DangerousInstruction,
 }
 
 /// The simulated abort-status register, handed to fallback code.
@@ -102,6 +107,19 @@ impl AbortStatus {
         }
     }
 
+    /// Status for a hardware dangerous-instruction abort at the offending
+    /// line. Retry is recommended: the wild access came from a transient
+    /// inconsistent snapshot, and a re-execution usually reads consistent
+    /// state (or falls back to the lock).
+    pub fn dangerous(line: u32) -> Self {
+        AbortStatus {
+            reason: AbortReason::DangerousInstruction,
+            explicit_code: None,
+            retry_recommended: true,
+            conflict_line: Some(line),
+        }
+    }
+
     /// Status for an explicit `XABORT` with `code`; `retry` is the hint the
     /// aborting code wants the fallback to see.
     pub fn explicit(code: u8, retry: bool) -> Self {
@@ -129,6 +147,11 @@ pub mod codes {
     /// A bounded speculative spin expired (models timer-induced aborts of
     /// transactions stuck waiting in-flight).
     pub const SPIN_EXPIRED: u8 = 0xA2;
+    /// The hardware commit-time subscription found the lock held: the
+    /// commit-stage check of arXiv 1407.6968 fired, atomically with the
+    /// (refused) publication. Explicit-class so fallback code can treat it
+    /// exactly like a software `LOCK_BUSY`, but distinguishable in traces.
+    pub const SUBSCRIPTION: u8 = 0xA3;
 }
 
 /// Per-thread transaction event statistics (begins/commits/aborts by
@@ -149,6 +172,8 @@ pub struct TxnStats {
     pub aborts_spurious: u64,
     /// HLE restore-check failures.
     pub aborts_restore: u64,
+    /// Hardware dangerous-instruction aborts.
+    pub aborts_dangerous: u64,
 }
 
 impl TxnStats {
@@ -159,6 +184,7 @@ impl TxnStats {
             + self.aborts_explicit
             + self.aborts_spurious
             + self.aborts_restore
+            + self.aborts_dangerous
     }
 
     pub(crate) fn count_abort(&mut self, reason: AbortReason) {
@@ -168,6 +194,7 @@ impl TxnStats {
             AbortReason::Explicit => self.aborts_explicit += 1,
             AbortReason::Spurious => self.aborts_spurious += 1,
             AbortReason::HleRestore => self.aborts_restore += 1,
+            AbortReason::DangerousInstruction => self.aborts_dangerous += 1,
         }
     }
 
@@ -180,6 +207,7 @@ impl TxnStats {
         self.aborts_explicit += other.aborts_explicit;
         self.aborts_spurious += other.aborts_spurious;
         self.aborts_restore += other.aborts_restore;
+        self.aborts_dangerous += other.aborts_dangerous;
     }
 }
 
@@ -212,11 +240,21 @@ mod tests {
         s.count_abort(AbortReason::Spurious);
         s.count_abort(AbortReason::Explicit);
         s.count_abort(AbortReason::HleRestore);
-        assert_eq!(s.aborts(), 6);
+        s.count_abort(AbortReason::DangerousInstruction);
+        assert_eq!(s.aborts(), 7);
         assert_eq!(s.aborts_conflict, 2);
+        assert_eq!(s.aborts_dangerous, 1);
         let mut t = TxnStats::default();
         t.merge(&s);
         t.merge(&s);
-        assert_eq!(t.aborts(), 12);
+        assert_eq!(t.aborts(), 14);
+    }
+
+    #[test]
+    fn dangerous_status_carries_line_and_retry_hint() {
+        let st = AbortStatus::dangerous(17);
+        assert_eq!(st.reason, AbortReason::DangerousInstruction);
+        assert_eq!(st.conflict_line, Some(17));
+        assert!(st.retry_recommended);
     }
 }

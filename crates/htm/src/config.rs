@@ -77,6 +77,13 @@ pub struct HtmConfig {
     /// Injected HTM-level faults (storms, squeezes, hot lines). The
     /// default injects nothing; see [`HtmFaults`].
     pub faults: HtmFaults,
+    /// Hardware dangerous-instruction detection (arXiv 1407.6968): in a
+    /// transaction that declared lazy subscription, a non-elided
+    /// transactional store to a lock-marked line aborts at the offending
+    /// access instead of entering the write buffer. Off by default —
+    /// stock Haswell has no such extension, which is exactly why lazy
+    /// subscription is unsafe on it.
+    pub dangerous_abort: bool,
 }
 
 impl HtmConfig {
@@ -90,6 +97,7 @@ impl HtmConfig {
             spurious_access: 0.00002,
             cost: CostModel::haswell(),
             faults: HtmFaults::none(),
+            dangerous_abort: false,
         }
     }
 
@@ -122,6 +130,12 @@ impl HtmConfig {
     /// Attach HTM-level fault injection (see [`HtmFaults`]).
     pub fn with_faults(mut self, faults: HtmFaults) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enable or disable hardware dangerous-instruction detection.
+    pub fn with_dangerous_abort(mut self, enabled: bool) -> Self {
+        self.dangerous_abort = enabled;
         self
     }
 

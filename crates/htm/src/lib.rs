@@ -66,7 +66,7 @@ mod strand;
 pub use abort::{codes, Abort, AbortReason, AbortStatus, TxResult, TxnStats};
 pub use config::{HtmConfig, HtmConfigError};
 pub use fault::{AbortStorm, CapacitySqueeze, HotLine, HtmFaults};
-pub use memory::{LineId, Memory, MemoryBuilder, VarId};
+pub use memory::{HwSubscription, LineId, Memory, MemoryBuilder, VarId};
 pub use placement::{
     LayoutMap, PlacementConfig, PlacementPolicy, Placer, RecordArena, Region, ResolvedVar, VarRole,
 };

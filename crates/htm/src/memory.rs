@@ -66,6 +66,43 @@ impl LineId {
     }
 }
 
+/// What the hardware commit-time subscription extension (arXiv 1407.6968)
+/// monitors: a descriptor, registered by the lock implementation via
+/// [`crate::Strand::hw_subscribe`], that the commit stage evaluates
+/// against *globally committed* state — never the transaction's own write
+/// buffer — atomically with publication under the conflict engine's lock.
+/// The three shapes cover every lock family in `elision-locks`: a
+/// free-value word (TTAS state, MCS tail), a two-word equality (ticket
+/// `next == owner`), and one level of indirection (CLH: the `locked` flag
+/// of the node the tail points at).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HwSubscription {
+    /// Free iff `mem[word] == free`.
+    ValueIs {
+        /// The monitored lock word.
+        word: VarId,
+        /// The value meaning "unlocked".
+        free: u64,
+    },
+    /// Free iff `mem[a] == mem[b]`.
+    WordsEqual {
+        /// First monitored word (e.g. the ticket dispenser).
+        a: VarId,
+        /// Second monitored word (e.g. the now-serving counter).
+        b: VarId,
+    },
+    /// Free iff `mem[table[mem[ptr]]] == free`; an out-of-range pointer
+    /// value counts as "not free" (garbage can never pass the check).
+    IndirectValueIs {
+        /// The pointer word (e.g. the CLH tail, holding a node index).
+        ptr: VarId,
+        /// Node-index-to-word translation table.
+        table: Vec<VarId>,
+        /// The value of the resolved word meaning "unlocked".
+        free: u64,
+    },
+}
+
 #[derive(Debug)]
 struct LineMeta {
     /// Bit `t` set: simulated thread `t` has this line in its read set.
@@ -421,6 +458,43 @@ impl Memory {
         self.dooms[tid].load(Ordering::SeqCst) >> 8 == epoch
     }
 
+    /// Evaluate a hardware subscription descriptor against committed
+    /// state: `true` iff the monitored lock is free. The commit stage
+    /// calls this while holding the engine lock, making the verdict
+    /// atomic with publication; it deliberately bypasses any write
+    /// buffer, so a zombie's wild store can never fool it.
+    pub fn subscription_free(&self, sub: &HwSubscription) -> bool {
+        match sub {
+            HwSubscription::ValueIs { word, free } => self.raw_load(*word) == *free,
+            HwSubscription::WordsEqual { a, b } => self.raw_load(*a) == self.raw_load(*b),
+            HwSubscription::IndirectValueIs { ptr, table, free } => {
+                let idx = self.raw_load(*ptr);
+                match usize::try_from(idx).ok().and_then(|i| table.get(i)) {
+                    Some(word) => self.raw_load(*word) == *free,
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// The cache lines a subscription descriptor's evaluation reads —
+    /// the commit step's extra footprint for the model checker (the
+    /// hardware check makes commit order-dependent on lock-word writes).
+    pub fn subscription_lines(&self, sub: &HwSubscription) -> Vec<LineId> {
+        match sub {
+            HwSubscription::ValueIs { word, .. } => vec![self.line_of(*word)],
+            HwSubscription::WordsEqual { a, b } => vec![self.line_of(*a), self.line_of(*b)],
+            HwSubscription::IndirectValueIs { ptr, table, .. } => {
+                let mut lines = vec![self.line_of(*ptr)];
+                let idx = self.raw_load(*ptr);
+                if let Some(word) = usize::try_from(idx).ok().and_then(|i| table.get(i)) {
+                    lines.push(self.line_of(*word));
+                }
+                lines
+            }
+        }
+    }
+
     /// The sanitizer event log, if [`MemoryBuilder::enable_sanitizer`]
     /// was called before freezing.
     pub fn san_log(&self) -> Option<&SanLog> {
@@ -600,5 +674,35 @@ mod tests {
     fn marking_unallocated_word_rejected() {
         let mut b = MemoryBuilder::new();
         b.mark_lock_word(VarId(3));
+    }
+
+    #[test]
+    fn subscription_forms_evaluate_committed_state() {
+        let mut b = MemoryBuilder::new();
+        let word = b.alloc(0);
+        let a = b.alloc(3);
+        let bb = b.alloc(3);
+        let ptr = b.alloc(1);
+        let n0 = b.alloc(1);
+        let n1 = b.alloc(0);
+        let m = b.freeze(1);
+
+        let value = HwSubscription::ValueIs { word, free: 0 };
+        assert!(m.subscription_free(&value));
+        m.write_direct(word, 1);
+        assert!(!m.subscription_free(&value));
+
+        let eq = HwSubscription::WordsEqual { a, b: bb };
+        assert!(m.subscription_free(&eq));
+        m.write_direct(a, 4);
+        assert!(!m.subscription_free(&eq));
+
+        let ind = HwSubscription::IndirectValueIs { ptr, table: vec![n0, n1], free: 0 };
+        assert!(m.subscription_free(&ind), "node 1 is unlocked");
+        m.write_direct(ptr, 0);
+        assert!(!m.subscription_free(&ind), "node 0 is locked");
+        m.write_direct(ptr, 99);
+        assert!(!m.subscription_free(&ind), "garbage pointer is never free");
+        assert_eq!(m.subscription_lines(&ind).len(), 1, "garbage resolves no second line");
     }
 }

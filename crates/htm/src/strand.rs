@@ -13,7 +13,7 @@
 use crate::abort::{codes, Abort, AbortStatus, TxResult, TxnStats};
 use crate::config::HtmConfig;
 use crate::lineset::{LineSet, WriteBuf};
-use crate::memory::{LineId, Memory, VarId};
+use crate::memory::{HwSubscription, LineId, Memory, VarId};
 use crate::sanitize::SanAccess;
 use elision_sim::{
     AbortCause, CauseSlotRecorder, ConflictLineHistogram, DetRng, OpCounters, SimHandle,
@@ -39,6 +39,22 @@ struct Txn {
     elided: Vec<(VarId, u64)>,
     /// Remaining accesses until an injected spurious abort fires.
     spurious_fuse: Option<u32>,
+    /// The transaction declared lazy subscription (arXiv 1407.6968's
+    /// proposed mode bit): hardware dangerous-instruction screening
+    /// applies when [`HtmConfig::dangerous_abort`] is also set.
+    lazy_subscribed: bool,
+    /// Registered hardware commit-time subscription: commit evaluates
+    /// the descriptor against committed state, atomically with
+    /// publication, and refuses to commit while the lock is held.
+    hw_sub: Option<HwSubscription>,
+    /// Lines an unfenced subscription probe sampled. Pure model-checker
+    /// instrumentation: the commit's *findings* (who holds the lock when
+    /// it publishes) depend on these lines even though its outcome does
+    /// not, so they join the commit step's footprint — without them the
+    /// explorer's dependence relation would never reorder a peer's lock
+    /// acquisition into the probe-to-commit window, hiding exactly the
+    /// race this probe exists to exhibit.
+    probed_lines: Vec<u32>,
 }
 
 impl Txn {
@@ -266,6 +282,9 @@ impl Strand {
             wbuf: WriteBuf::default(),
             elided: Vec::new(),
             spurious_fuse: None,
+            lazy_subscribed: false,
+            hw_sub: None,
+            probed_lines: Vec::new(),
         });
         txn.epoch = epoch;
         txn.spurious_fuse = spurious_fuse;
@@ -279,6 +298,9 @@ impl Strand {
         txn.write_lines.clear();
         txn.wbuf.clear();
         txn.elided.clear();
+        txn.lazy_subscribed = false;
+        txn.hw_sub = None;
+        txn.probed_lines.clear();
         self.spare = Some(txn);
     }
 
@@ -310,6 +332,22 @@ impl Strand {
             for &l in txn.write_lines.as_slice() {
                 self.sim.note_access(l, true);
             }
+            // A registered hardware subscription makes the commit verdict
+            // depend on the monitored lock words too: without this note
+            // the explorer would never reorder a commit against a peer's
+            // lock acquisition.
+            if let Some(sub) = txn.hw_sub.as_ref() {
+                for line in self.mem.subscription_lines(sub) {
+                    self.sim.note_access(line.0, false);
+                }
+            }
+            // Unfenced probes likewise: whether the commit publishes
+            // while the lock is held is a property of these lines, so
+            // reorderings against them must be explored (see
+            // `Txn::probed_lines`).
+            for &l in &txn.probed_lines {
+                self.sim.note_access(l, false);
+            }
         }
         if let Err(Abort) = self.health_check() {
             return Err(self.last_abort);
@@ -336,12 +374,42 @@ impl Strand {
         // other commits: take the engine lock, re-check the doom flag, then
         // make all buffered writes visible, aborting every peer that read
         // or speculatively wrote the published lines.
+        let mut subscription_held = false;
         let doomed_at_last_moment = {
             let _guard = self.mem.engine_lock();
             let txn = self.txn.as_ref().expect("checked above");
             if self.mem.is_doomed(self.tid, txn.epoch) {
                 true
+            } else if txn.hw_sub.as_ref().is_some_and(|sub| !self.mem.subscription_free(sub)) {
+                // The hardware commit-time subscription (arXiv 1407.6968)
+                // found the lock held. Evaluated on committed state under
+                // the engine lock, the verdict is atomic with publication:
+                // there is no check-to-commit window, and a zombie's
+                // buffered wild store cannot fool it.
+                subscription_held = true;
+                false
             } else {
+                if let Some(sub) = txn.hw_sub.as_ref() {
+                    // The free verdict was computed from these words
+                    // under the engine lock: log the reads so the
+                    // ordering they establish (the holder's release
+                    // happens-before this commit) is visible to the
+                    // analysis passes, exactly as the software
+                    // subscription's read-set load would be.
+                    match sub {
+                        HwSubscription::ValueIs { word, .. }
+                        | HwSubscription::IndirectValueIs { ptr: word, .. } => {
+                            let v = self.mem.raw_load(*word);
+                            self.san(SanAccess::Read { var: *word, value: v, txn: true });
+                        }
+                        HwSubscription::WordsEqual { a, b } => {
+                            let va = self.mem.raw_load(*a);
+                            self.san(SanAccess::Read { var: *a, value: va, txn: true });
+                            let vb = self.mem.raw_load(*b);
+                            self.san(SanAccess::Read { var: *b, value: vb, txn: true });
+                        }
+                    }
+                }
                 // Publication happens in VarId order — the write buffer is
                 // sorted by variable index — keeping the peer-dooming
                 // order (hence the best-effort conflict-line attribution)
@@ -359,6 +427,10 @@ impl Strand {
         };
         if doomed_at_last_moment {
             self.unwind(AbortStatus::conflict());
+            return Err(self.last_abort);
+        }
+        if subscription_held {
+            self.unwind(AbortStatus::explicit(codes::SUBSCRIPTION, true));
             return Err(self.last_abort);
         }
         // Success: retire the epoch first so stale dooms become no-ops,
@@ -387,6 +459,79 @@ impl Strand {
         assert!(self.txn.is_some(), "xabort outside a transaction");
         self.unwind(AbortStatus::explicit(code, retry));
         Abort
+    }
+
+    /// Declare the active transaction lazily subscribed — the mode bit of
+    /// arXiv 1407.6968. With [`HtmConfig::dangerous_abort`] set, any
+    /// subsequent non-elided transactional store to a lock-marked line
+    /// aborts at the offending access (the "dangerous instruction"
+    /// screen). A pure register write: no clock, RNG or log effects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn mark_lazy_subscription(&mut self) {
+        self.txn.as_mut().expect("mark_lazy_subscription outside a transaction").lazy_subscribed =
+            true;
+    }
+
+    /// Register a hardware commit-time subscription: commit will evaluate
+    /// `sub` against *committed* state — immune to the transaction's own
+    /// write buffer — atomically with publication, and abort with
+    /// [`codes::SUBSCRIPTION`] if the lock is held. Implies
+    /// [`Strand::mark_lazy_subscription`]. A pure register write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn hw_subscribe(&mut self, sub: HwSubscription) {
+        let txn = self.txn.as_mut().expect("hw_subscribe outside a transaction");
+        txn.lazy_subscribed = true;
+        txn.hw_sub = Some(sub);
+    }
+
+    /// Sample a subscription descriptor against committed state *without*
+    /// joining the read set — the unfenced commit-time check real lazy
+    /// subscription performs on stock hardware. Because the sampled lines
+    /// are never tracked, a lock acquisition between this probe and
+    /// `commit` goes unnoticed: this is the racy window of
+    /// arXiv 1407.6968 §3, modelled faithfully so the explorer can
+    /// exhibit it. Returns `true` iff the lock was observed free.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Abort)` if the enclosing transaction was doomed meanwhile.
+    pub fn probe_subscription(&mut self, sub: &HwSubscription) -> TxResult<bool> {
+        self.sim.advance(self.cfg.cost.load);
+        if self.txn.is_some() {
+            self.health_check()?;
+        }
+        // The sample reads real lines: give the model checker the honest
+        // footprint, and the sanitizer the observed values (a stale
+        // sample is exactly what the opacity pass must catch).
+        for line in self.mem.subscription_lines(sub) {
+            self.sim.note_access(line.0, false);
+            if let Some(txn) = self.txn.as_mut() {
+                if !txn.probed_lines.contains(&line.0) {
+                    txn.probed_lines.push(line.0);
+                }
+            }
+        }
+        let in_txn = self.in_txn();
+        match sub {
+            HwSubscription::ValueIs { word, .. }
+            | HwSubscription::IndirectValueIs { ptr: word, .. } => {
+                let v = self.mem.raw_load(*word);
+                self.san(SanAccess::Read { var: *word, value: v, txn: in_txn });
+            }
+            HwSubscription::WordsEqual { a, b } => {
+                let va = self.mem.raw_load(*a);
+                self.san(SanAccess::Read { var: *a, value: va, txn: in_txn });
+                let vb = self.mem.raw_load(*b);
+                self.san(SanAccess::Read { var: *b, value: vb, txn: in_txn });
+            }
+        }
+        Ok(self.mem.subscription_free(sub))
     }
 
     /// Run one speculative attempt: begin, execute `body`, commit.
@@ -464,6 +609,7 @@ impl Strand {
             crate::abort::AbortReason::Explicit => AbortCause::Explicit,
             crate::abort::AbortReason::Spurious => AbortCause::FaultInjected,
             crate::abort::AbortReason::HleRestore => AbortCause::HleRestore,
+            crate::abort::AbortReason::DangerousInstruction => AbortCause::DangerousInstruction,
         }
     }
 
@@ -567,6 +713,15 @@ impl Strand {
     /// Structured like [`Strand::track_read`].
     fn track_write(&mut self, line: LineId) -> TxResult<()> {
         let txn = self.txn.as_ref().expect("track_write outside txn");
+        // Dangerous-instruction detection (arXiv 1407.6968): a lazily
+        // subscribed transaction writing a lock-marked line is a zombie
+        // wild store — no legitimate lazy critical section ever stores to
+        // lock metadata non-elided. Screened before the set probe so a
+        // re-write of an already tracked line is caught too.
+        if self.cfg.dangerous_abort && txn.lazy_subscribed && self.mem.is_lock_line(line.0) {
+            self.unwind(AbortStatus::dangerous(line.0));
+            return Err(Abort);
+        }
         let Err(pos) = txn.write_lines.probe(line.0) else { return Ok(()) };
         if txn.write_lines.len() >= self.write_budget() {
             self.unwind(AbortStatus::capacity());

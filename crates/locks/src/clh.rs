@@ -8,7 +8,7 @@
 //! node's presence in a solo or speculative run.
 
 use crate::{FallbackOutcome, RawLock, TXN_SPIN_BUDGET};
-use elision_htm::{codes, MemoryBuilder, Strand, TxResult, VarId};
+use elision_htm::{codes, HwSubscription, MemoryBuilder, Strand, TxResult, VarId};
 
 const LOCKED: u64 = 1;
 const UNLOCKED: u64 = 0;
@@ -143,6 +143,15 @@ impl RawLock for ClhLock {
 
     fn lock_word(&self) -> VarId {
         self.tail
+    }
+
+    fn hw_subscription(&self) -> Option<HwSubscription> {
+        // Free ⇔ the node the tail points at is unlocked.
+        Some(HwSubscription::IndirectValueIs {
+            ptr: self.tail,
+            table: self.node_locked.clone(),
+            free: UNLOCKED,
+        })
     }
 
     fn name(&self) -> &'static str {

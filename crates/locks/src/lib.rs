@@ -31,7 +31,7 @@ pub use mcs::McsLock;
 pub use ticket::TicketLock;
 pub use ttas::TtasLock;
 
-use elision_htm::{Strand, TxResult, VarId};
+use elision_htm::{HwSubscription, Strand, TxResult, VarId};
 
 /// Result of re-executing the elided acquisition non-transactionally
 /// after an abort (the hardware's HLE fallback).
@@ -118,6 +118,16 @@ pub trait RawLock: Send + Sync {
     /// and lint layers (the word SLR/SCM subscription reads observe:
     /// TTAS's state word, the queue locks' tail/next word).
     fn lock_word(&self) -> VarId;
+
+    /// A descriptor the hardware commit-time subscription extension
+    /// (arXiv 1407.6968) can evaluate atomically with commit: "this lock
+    /// is free" expressed over raw words, with no software read involved.
+    /// `None` means the lock's free condition is not expressible in the
+    /// descriptor forms the simulated hardware supports, and schemes must
+    /// fall back to software subscription.
+    fn hw_subscription(&self) -> Option<HwSubscription> {
+        None
+    }
 
     /// A short human-readable name ("TTAS", "MCS", ...).
     fn name(&self) -> &'static str;

@@ -9,7 +9,7 @@
 //! non-speculatively until the queue drains.
 
 use crate::{FallbackOutcome, RawLock, TXN_SPIN_BUDGET};
-use elision_htm::{codes, MemoryBuilder, Strand, TxResult, VarId};
+use elision_htm::{codes, HwSubscription, MemoryBuilder, Strand, TxResult, VarId};
 
 const NIL: u64 = u64::MAX;
 const WAIT: u64 = 1;
@@ -121,6 +121,10 @@ impl RawLock for McsLock {
 
     fn lock_word(&self) -> VarId {
         self.tail
+    }
+
+    fn hw_subscription(&self) -> Option<HwSubscription> {
+        Some(HwSubscription::ValueIs { word: self.tail, free: NIL })
     }
 
     fn name(&self) -> &'static str {

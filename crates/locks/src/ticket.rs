@@ -11,7 +11,7 @@
 //! to the standard `owner + 1` path.
 
 use crate::{FallbackOutcome, RawLock, TXN_SPIN_BUDGET};
-use elision_htm::{codes, MemoryBuilder, Strand, TxResult, VarId};
+use elision_htm::{codes, HwSubscription, MemoryBuilder, Strand, TxResult, VarId};
 
 /// A ticket lock; `adapted` selects the paper's HLE-compatible release.
 #[derive(Debug)]
@@ -133,6 +133,11 @@ impl RawLock for TicketLock {
 
     fn lock_word(&self) -> VarId {
         self.next
+    }
+
+    fn hw_subscription(&self) -> Option<HwSubscription> {
+        // Free ⇔ no outstanding tickets: next == owner.
+        Some(HwSubscription::WordsEqual { a: self.next, b: self.owner })
     }
 
     fn name(&self) -> &'static str {

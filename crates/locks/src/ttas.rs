@@ -1,7 +1,7 @@
 //! The test-and-test-and-set spinlock (paper Figure 1).
 
 use crate::{FallbackOutcome, RawLock, TXN_SPIN_BUDGET};
-use elision_htm::{codes, MemoryBuilder, Strand, TxResult, VarId};
+use elision_htm::{codes, HwSubscription, MemoryBuilder, Strand, TxResult, VarId};
 
 const FREE: u64 = 0;
 const HELD: u64 = 1;
@@ -80,6 +80,10 @@ impl RawLock for TtasLock {
 
     fn lock_word(&self) -> VarId {
         self.word
+    }
+
+    fn hw_subscription(&self) -> Option<HwSubscription> {
+        Some(HwSubscription::ValueIs { word: self.word, free: FREE })
     }
 
     fn wait_until_free(&self, s: &mut Strand) -> TxResult<()> {

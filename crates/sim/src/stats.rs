@@ -40,18 +40,23 @@ pub enum AbortCause {
     /// An HLE commit failed because the elided lock word was not restored
     /// to its original value.
     HleRestore,
+    /// The hardware dangerous-instruction screen (arXiv 1407.6968) caught
+    /// a lazily subscribed transaction writing a lock-marked line — a
+    /// zombie's wild store, aborted at the offending access.
+    DangerousInstruction,
 }
 
 impl AbortCause {
     /// Every cause, in the fixed order used by [`CauseHistogram`] and the
     /// JSON/CSV emitters.
-    pub const ALL: [AbortCause; 6] = [
+    pub const ALL: [AbortCause; 7] = [
         AbortCause::DataConflict,
         AbortCause::LockWordConflict,
         AbortCause::Capacity,
         AbortCause::Explicit,
         AbortCause::FaultInjected,
         AbortCause::HleRestore,
+        AbortCause::DangerousInstruction,
     ];
 
     /// A stable snake_case label (JSON keys, CSV headers).
@@ -63,6 +68,7 @@ impl AbortCause {
             AbortCause::Explicit => "explicit",
             AbortCause::FaultInjected => "fault_injected",
             AbortCause::HleRestore => "hle_restore",
+            AbortCause::DangerousInstruction => "dangerous_instruction",
         }
     }
 
@@ -74,6 +80,7 @@ impl AbortCause {
             AbortCause::Explicit => 3,
             AbortCause::FaultInjected => 4,
             AbortCause::HleRestore => 5,
+            AbortCause::DangerousInstruction => 6,
         }
     }
 }
@@ -85,7 +92,7 @@ impl AbortCause {
 /// aborted-attempt count `A` of the owning [`OpCounters`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CauseHistogram {
-    counts: [u64; 6],
+    counts: [u64; 7],
 }
 
 impl CauseHistogram {
@@ -367,7 +374,7 @@ mod tests {
         assert_eq!(h.get(AbortCause::Capacity), 2);
         assert_eq!(h.get(AbortCause::Explicit), 0);
         let pairs: Vec<_> = h.iter().collect();
-        assert_eq!(pairs.len(), 6);
+        assert_eq!(pairs.len(), 7);
         assert_eq!(pairs[2], (AbortCause::Capacity, 2));
         // Labels are stable snake_case identifiers (JSON keys).
         for (cause, _) in h.iter() {

@@ -3,7 +3,7 @@
 //! storms and mixed structures — the safety net under all performance
 //! claims.
 
-use elision_core::{make_scheme, LockKind, SchemeConfig, SchemeKind};
+use elision_core::{make_scheme, LazyMode, LockKind, SchemeConfig, SchemeKind};
 use elision_htm::{harness, HtmConfig, MemoryBuilder};
 use elision_structures::{HashTable, OpAction, OpResponse, RbTree, SimQueue, SortedList};
 use std::sync::Arc;
@@ -143,66 +143,77 @@ type DifferentialState = (Vec<Vec<(OpAction, OpResponse)>>, Vec<(u64, u64)>, Vec
 /// bug (lost update, duplicated insert, stale speculative read), never a
 /// legitimate reordering.
 fn differential_cell(scheme_kind: SchemeKind, lock: LockKind) -> DifferentialState {
+    differential_cell_cfg(scheme_kind, lock, SchemeConfig::paper(), HtmConfig::deterministic())
+}
+
+/// [`differential_cell`] with explicit scheme/HTM configuration, so the
+/// lazy-subscription variants (unfenced model, dangerous-instruction
+/// screen, hardware commit-time subscription) run the identical workload.
+fn differential_cell_cfg(
+    scheme_kind: SchemeKind,
+    lock: LockKind,
+    cfg: SchemeConfig,
+    htm: HtmConfig,
+) -> DifferentialState {
     let threads = 4;
     let sections = 24usize;
     let mut b = MemoryBuilder::new();
     let table = HashTable::new(&mut b, 16, 512, threads);
     let list = SortedList::new(&mut b, 512, threads);
     let tree = RbTree::new(&mut b, 512, threads);
-    let scheme = make_scheme(scheme_kind, lock, SchemeConfig::paper(), &mut b, threads);
+    let scheme = make_scheme(scheme_kind, lock, cfg, &mut b, threads);
     let mem = Arc::new(b.freeze(threads));
     table.init(&mem);
     list.init(&mem);
     tree.init(&mem);
 
     let (tab, li, tr) = (table.clone(), list.clone(), tree.clone());
-    let (hists, _) =
-        harness::run_arc(threads, 0, HtmConfig::deterministic(), 9, Arc::clone(&mem), move |s| {
-            let tid = s.tid() as u64;
-            let mut hist = Vec::with_capacity(sections);
-            for k in 0..sections {
-                let k64 = k as u64;
-                // Cycle over five private keys so puts, gets and removes
-                // observe this thread's own earlier writes.
-                let key = 1 + tid * 1_000 + k64 % 5;
-                let (action, response) = match k % 7 {
-                    0 => (
-                        OpAction::MapPut(key, tid * 100 + k64),
-                        OpResponse::Value(
-                            scheme.execute(s, |s| tab.put(s, key, tid * 100 + k64)).value,
-                        ),
+    let (hists, _) = harness::run_arc(threads, 0, htm, 9, Arc::clone(&mem), move |s| {
+        let tid = s.tid() as u64;
+        let mut hist = Vec::with_capacity(sections);
+        for k in 0..sections {
+            let k64 = k as u64;
+            // Cycle over five private keys so puts, gets and removes
+            // observe this thread's own earlier writes.
+            let key = 1 + tid * 1_000 + k64 % 5;
+            let (action, response) = match k % 7 {
+                0 => (
+                    OpAction::MapPut(key, tid * 100 + k64),
+                    OpResponse::Value(
+                        scheme.execute(s, |s| tab.put(s, key, tid * 100 + k64)).value,
                     ),
-                    1 => (
-                        OpAction::MapGet(key),
-                        OpResponse::Value(scheme.execute(s, |s| tab.get(s, key)).value),
-                    ),
-                    2 => (
-                        OpAction::SetInsert(key),
-                        OpResponse::Flag(scheme.execute(s, |s| li.insert(s, key)).value),
-                    ),
-                    3 => (
-                        OpAction::SetInsert(key),
-                        OpResponse::Flag(scheme.execute(s, |s| tr.insert(s, key)).value),
-                    ),
-                    4 => (
-                        OpAction::MapRemove(key),
-                        OpResponse::Value(scheme.execute(s, |s| tab.remove(s, key)).value),
-                    ),
-                    5 => (
-                        OpAction::SetContains(key),
-                        OpResponse::Flag(scheme.execute(s, |s| tr.contains(s, key)).value),
-                    ),
-                    // A key no thread ever writes: contends on shared
-                    // bucket lines yet always answers `None`.
-                    _ => (
-                        OpAction::MapGet(7_777),
-                        OpResponse::Value(scheme.execute(s, |s| tab.get(s, 7_777)).value),
-                    ),
-                };
-                hist.push((action, response));
-            }
-            hist
-        });
+                ),
+                1 => (
+                    OpAction::MapGet(key),
+                    OpResponse::Value(scheme.execute(s, |s| tab.get(s, key)).value),
+                ),
+                2 => (
+                    OpAction::SetInsert(key),
+                    OpResponse::Flag(scheme.execute(s, |s| li.insert(s, key)).value),
+                ),
+                3 => (
+                    OpAction::SetInsert(key),
+                    OpResponse::Flag(scheme.execute(s, |s| tr.insert(s, key)).value),
+                ),
+                4 => (
+                    OpAction::MapRemove(key),
+                    OpResponse::Value(scheme.execute(s, |s| tab.remove(s, key)).value),
+                ),
+                5 => (
+                    OpAction::SetContains(key),
+                    OpResponse::Flag(scheme.execute(s, |s| tr.contains(s, key)).value),
+                ),
+                // A key no thread ever writes: contends on shared
+                // bucket lines yet always answers `None`.
+                _ => (
+                    OpAction::MapGet(7_777),
+                    OpResponse::Value(scheme.execute(s, |s| tab.get(s, 7_777)).value),
+                ),
+            };
+            hist.push((action, response));
+        }
+        hist
+    });
     let mut final_table = table.collect(&mem);
     final_table.sort_unstable();
     (hists, final_table, list.collect(&mem), tree.collect(&mem))
@@ -239,6 +250,89 @@ fn every_cell_matches_the_ttas_baseline() {
             assert_eq!(
                 got.3, baseline.3,
                 "{scheme}/{lock}: final rbtree state diverged from Standard/TTAS"
+            );
+        }
+    }
+}
+
+/// The lazy-subscription variants of arXiv 1407.6968: how the
+/// subscription check is modelled (software read-set join, unfenced
+/// hardware sample, hardware commit-time evaluation) and whether the
+/// dangerous-instruction screen is armed. Label, mode, screen.
+const LAZY_VARIANTS: [(&str, LazyMode, bool); 4] = [
+    ("unfenced", LazyMode::Unfenced, false),
+    ("dangerous_abort", LazyMode::ReadSet, true),
+    ("hardware_commit", LazyMode::HardwareCommit, false),
+    ("both", LazyMode::HardwareCommit, true),
+];
+
+/// Differential check for the lazy-subscription variants: on both lazy
+/// schemes and every lock family, the unfenced (unfixed-hardware) model
+/// and both hardware fixes must reproduce the Standard/TTAS baseline
+/// exactly. The fixes may only change *when transactions abort*, never
+/// what committed operations compute; and on this benign workload even
+/// the unfenced model's racy window must not alter a single response.
+#[test]
+fn lazy_fix_variants_match_the_ttas_baseline() {
+    let baseline = differential_cell(SchemeKind::Standard, LockKind::Ttas);
+    for scheme in [SchemeKind::OptSlr, SchemeKind::SlrScm] {
+        for lock in LOCKS {
+            for (label, mode, screen) in LAZY_VARIANTS {
+                let got = differential_cell_cfg(
+                    scheme,
+                    lock,
+                    SchemeConfig::paper().with_lazy_mode(mode),
+                    HtmConfig::deterministic().with_dangerous_abort(screen),
+                );
+                assert_eq!(
+                    got.0, baseline.0,
+                    "{scheme}/{lock}/{label}: op-result history diverged from Standard/TTAS"
+                );
+                assert_eq!(
+                    got.1, baseline.1,
+                    "{scheme}/{lock}/{label}: final hashtable state diverged from Standard/TTAS"
+                );
+                assert_eq!(
+                    got.2, baseline.2,
+                    "{scheme}/{lock}/{label}: final list state diverged from Standard/TTAS"
+                );
+                assert_eq!(
+                    got.3, baseline.3,
+                    "{scheme}/{lock}/{label}: final rbtree state diverged from Standard/TTAS"
+                );
+            }
+        }
+    }
+}
+
+/// The hardware commit-time subscription turns commit-while-locked into
+/// `codes::SUBSCRIPTION` retry aborts: under full contention those
+/// aborts must drain into the fallback path, not livelock.
+#[test]
+fn lazy_fix_variants_all_conflict_progress() {
+    for (label, mode, screen) in LAZY_VARIANTS {
+        for lock in LOCKS {
+            let threads = 6;
+            let ops = 60u64;
+            let mut b = MemoryBuilder::new();
+            let hot = b.alloc_isolated(0);
+            let cfg = SchemeConfig::paper().with_lazy_mode(mode);
+            let s = make_scheme(SchemeKind::OptSlr, lock, cfg, &mut b, threads);
+            let mem = b.freeze(threads);
+            let htm = HtmConfig::deterministic().with_dangerous_abort(screen);
+            let (_, mem, _) = harness::run(threads, 0, htm, 3, mem, move |st| {
+                for _ in 0..ops {
+                    s.execute(st, |st| {
+                        let v = st.load(hot)?;
+                        st.work(3)?;
+                        st.store(hot, v + 1)
+                    });
+                }
+            });
+            assert_eq!(
+                mem.read_direct(hot),
+                threads as u64 * ops,
+                "OptSlr/{lock}/{label}: lost updates under full contention"
             );
         }
     }
